@@ -1,0 +1,78 @@
+// Command palexp runs the paper's evaluation experiments and prints the
+// regenerated tables/figures.
+//
+// Usage:
+//
+//	palexp -list
+//	palexp -exp fig11 -scale full
+//	palexp -exp all  -scale quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/export"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment ID (see -list) or \"all\"")
+		scale  = flag.String("scale", "full", "experiment scale: full or quick")
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		format = flag.String("format", "text", "output format: text, csv, md, json")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Printf("%-10s %s\n", name, experiments.Describe(name))
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "full":
+		sc = experiments.FullScale()
+	case "quick":
+		sc = experiments.QuickScale()
+	default:
+		fmt.Fprintf(os.Stderr, "palexp: unknown scale %q (want full or quick)\n", *scale)
+		os.Exit(2)
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		table, err := experiments.RunByName(name, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "text":
+			fmt.Print(table.String())
+			fmt.Printf("(%s in %.1fs)\n\n", name, time.Since(start).Seconds())
+		case "csv":
+			err = export.TableCSV(os.Stdout, table)
+		case "md":
+			err = export.TableMarkdown(os.Stdout, table)
+		case "json":
+			err = export.TableJSON(os.Stdout, table)
+		default:
+			fmt.Fprintf(os.Stderr, "palexp: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

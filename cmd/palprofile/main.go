@@ -1,0 +1,112 @@
+// Command palprofile generates and inspects GPU variability profiles:
+// per-class spread statistics (Figs. 6-8), the K-Means PM-score binning
+// with silhouette K selection (§III-B, Fig. 5), and the resulting L×V
+// matrices (§III-C1).
+//
+// Examples:
+//
+//	palprofile -cluster longhorn -gpus 128
+//	palprofile -cluster testbed -bins -lacross 1.7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/kmeans"
+	"repro/internal/stats"
+	"repro/internal/vprof"
+)
+
+func main() {
+	var (
+		clusterName = flag.String("cluster", "longhorn", "profile shape: longhorn, frontera, testbed")
+		gpus        = flag.Int("gpus", 128, "number of GPUs (testbed is fixed at 64)")
+		seed        = flag.Uint64("seed", 0x9A1, "generation seed")
+		showBins    = flag.Bool("bins", true, "print the K-Means PM-score bins")
+		lacross     = flag.Float64("lacross", 1.5, "locality penalty for the L x V matrices")
+		save        = flag.String("save", "", "write the profile as JSON to this file")
+		load        = flag.String("load", "", "read the profile from this JSON file instead of generating")
+	)
+	flag.Parse()
+
+	var p *vprof.Profile
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palprofile: %v\n", err)
+			os.Exit(1)
+		}
+		p, err = vprof.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	switch {
+	case p != nil:
+		// loaded from file
+	default:
+		switch *clusterName {
+		case "longhorn":
+			p = vprof.GenerateLonghorn(*gpus, *seed)
+		case "frontera":
+			p = vprof.GenerateFrontera(*gpus, *seed)
+		case "testbed":
+			p = vprof.GenerateTestbed(*seed)
+		default:
+			fmt.Fprintf(os.Stderr, "palprofile: unknown cluster %q\n", *clusterName)
+			os.Exit(2)
+		}
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := p.Save(f); err != nil {
+			fmt.Fprintf(os.Stderr, "palprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "palprofile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *save)
+	}
+
+	fmt.Printf("profile %s: %d GPUs, %d classes\n", p.Name(), p.NumGPUs(), p.NumClasses())
+	for c := vprof.Class(0); int(c) < p.NumClasses(); c++ {
+		scores := p.ClassScores(c)
+		fmt.Printf("  class %s: geomean var %5.1f%%  p25 %.3f  p75 %.3f  max %.2fx\n",
+			c, 100*p.Variability(c),
+			stats.Percentile(scores, 25), stats.Percentile(scores, 75), p.MaxScore(c))
+	}
+
+	if !*showBins {
+		return
+	}
+	binned := vprof.BinProfile(p)
+	for c := vprof.Class(0); int(c) < p.NumClasses(); c++ {
+		sel := kmeans.SelectK(p.ClassScores(c))
+		fmt.Printf("\nclass %s binning: silhouette-selected K=%d (score %.3f), %d outliers\n",
+			c, sel.K, sel.Score, len(sel.OutlierIdx))
+		counts := make([]int, binned.NumBins(c))
+		for g := 0; g < binned.NumGPUs(); g++ {
+			counts[binned.BinOf(c, g)]++
+		}
+		for i, s := range binned.BinScores(c) {
+			fmt.Printf("  bin %d: centroid %.3f (%d GPUs)\n", i, s, counts[i])
+		}
+		m, err := core.BuildLV([]float64{1.0, *lacross}, binned.BinScores(c))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palprofile: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(m)
+	}
+}

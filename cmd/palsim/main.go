@@ -1,0 +1,157 @@
+// Command palsim runs a single cluster-scheduling simulation with
+// explicit knobs: trace family, cluster size, scheduler, placement policy,
+// locality penalty. It prints the aggregate metrics the paper reports.
+//
+// Examples:
+//
+//	palsim -trace sia -workload 5 -policy pal -sched fifo
+//	palsim -trace synergy -load 10 -jobs 800 -policy tiresias -lacross 1.7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/export"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		traceKind = flag.String("trace", "sia", "trace family: sia or synergy")
+		workload  = flag.Int("workload", 1, "Sia-Philly workload index (1-8)")
+		load      = flag.Float64("load", 10, "Synergy job arrival rate (jobs/hour)")
+		jobs      = flag.Int("jobs", 800, "Synergy trace length")
+		policy    = flag.String("policy", "pal", "placement policy: random-sticky, random, gandiva, tiresias, pm-first, pal")
+		schedName = flag.String("sched", "fifo", "scheduling policy: fifo, las, srtf")
+		nodes     = flag.Int("nodes", 0, "cluster nodes (default: 16 for sia, 64 for synergy)")
+		lacross   = flag.Float64("lacross", 1.5, "inter-node locality penalty")
+		perModel  = flag.Bool("per-model-lacross", false, "use per-model locality penalties (Table II)")
+		seed      = flag.Uint64("seed", 0xE4B, "experiment seed")
+		utilize   = flag.Bool("util", false, "print the GPUs-in-use series (deciles)")
+		events    = flag.Int("events", 0, "print the first N lifecycle events")
+		asJSON    = flag.Bool("json", false, "print aggregate metrics as JSON")
+	)
+	flag.Parse()
+
+	pol, ok := policyByName(*policy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "palsim: unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+	s := sched.ByName(*schedName)
+	if s == nil {
+		fmt.Fprintf(os.Stderr, "palsim: unknown scheduler %q\n", *schedName)
+		os.Exit(2)
+	}
+
+	var (
+		tr   *trace.Trace
+		topo cluster.Topology
+	)
+	switch *traceKind {
+	case "sia":
+		tr = experiments.SiaTrace(*workload)
+		topo = experiments.SiaTopology()
+	case "synergy":
+		params := trace.DefaultSynergyParams(*load)
+		params.NumJobs = *jobs
+		tr = trace.Synergy(params)
+		topo = experiments.SynergyTopology()
+	default:
+		fmt.Fprintf(os.Stderr, "palsim: unknown trace family %q\n", *traceKind)
+		os.Exit(2)
+	}
+	if *nodes > 0 {
+		topo = cluster.Topology{NumNodes: *nodes, GPUsPerNode: experiments.GPUsPerNode}
+	}
+
+	spec := experiments.RunSpec{
+		Trace:        tr,
+		Topo:         topo,
+		Sched:        s,
+		Policy:       pol,
+		Profile:      experiments.LonghornProfile(topo.Size()),
+		Lacross:      *lacross,
+		Seed:         *seed,
+		RecordUtil:   *utilize,
+		RecordEvents: *events > 0,
+	}
+	if *perModel {
+		spec.ModelLacross = trace.LacrossByModel()
+	}
+
+	res, err := experiments.Run(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		if err := export.ResultJSON(os.Stdout, res); err != nil {
+			fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	jcts := res.JCTs()
+	waits := res.Waits()
+	fmt.Printf("trace=%s jobs=%d cluster=%d GPUs policy=%s sched=%s lacross=%.2f\n",
+		tr.Name, len(tr.Jobs), topo.Size(), pol, s.Name(), *lacross)
+	fmt.Printf("  avg JCT      %10.1f s (%.2f h)\n", stats.Mean(jcts), stats.Mean(jcts)/3600)
+	fmt.Printf("  p50 JCT      %10.1f s\n", stats.Percentile(jcts, 50))
+	fmt.Printf("  p99 JCT      %10.1f s\n", stats.Percentile(jcts, 99))
+	fmt.Printf("  mean wait    %10.1f s\n", stats.Mean(waits))
+	fmt.Printf("  makespan     %10.1f s (%.2f h)\n", res.Makespan, res.Makespan/3600)
+	fmt.Printf("  utilization  %10.2f%%\n", 100*res.Utilization)
+	fmt.Printf("  rounds       %10d\n", res.Rounds)
+	if *events > 0 {
+		fmt.Println("  events:")
+		for i, ev := range res.Events {
+			if i >= *events {
+				fmt.Printf("    ... (%d more)\n", len(res.Events)-i)
+				break
+			}
+			fmt.Printf("    %s\n", ev)
+		}
+	}
+	if *utilize && len(res.UtilSeries) > 0 {
+		fmt.Printf("  in-use (deciles):")
+		n := len(res.UtilSeries)
+		for d := 0; d < 10; d++ {
+			sum, count := 0, 0
+			for i := d * n / 10; i < (d+1)*n/10; i++ {
+				sum += res.UtilSeries[i].InUse
+				count++
+			}
+			if count > 0 {
+				fmt.Printf(" %d", sum/count)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func policyByName(name string) (experiments.Policy, bool) {
+	switch name {
+	case "random-sticky":
+		return experiments.RandomSticky, true
+	case "random", "random-non-sticky":
+		return experiments.RandomNonSticky, true
+	case "gandiva", "packed-non-sticky":
+		return experiments.Gandiva, true
+	case "tiresias", "packed-sticky", "packed":
+		return experiments.Tiresias, true
+	case "pm-first", "pmfirst":
+		return experiments.PMFirst, true
+	case "pal":
+		return experiments.PALPolicy, true
+	}
+	return 0, false
+}

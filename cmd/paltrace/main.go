@@ -1,0 +1,117 @@
+// Command paltrace generates and inspects workload traces: job counts,
+// demand distribution, duration distribution, arrival rate, and the
+// per-model mix — the quantities §IV-B characterizes the Sia-Philly and
+// Synergy trace families by.
+//
+// Examples:
+//
+//	paltrace -trace sia -workload 5
+//	paltrace -trace synergy -load 10 -jobs 1000 -dump 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		traceKind = flag.String("trace", "sia", "trace family: sia or synergy")
+		workload  = flag.Int("workload", 1, "Sia-Philly workload index (1-8)")
+		load      = flag.Float64("load", 10, "Synergy arrival rate (jobs/hour)")
+		jobs      = flag.Int("jobs", 1000, "Synergy trace length")
+		dump      = flag.Int("dump", 0, "also print the first N jobs")
+		save      = flag.String("save", "", "write the trace as JSON to this file")
+	)
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch *traceKind {
+	case "sia":
+		tr = trace.SiaPhilly(trace.DefaultSiaPhillyParams(), *workload)
+	case "synergy":
+		params := trace.DefaultSynergyParams(*load)
+		params.NumJobs = *jobs
+		tr = trace.Synergy(params)
+	default:
+		fmt.Fprintf(os.Stderr, "paltrace: unknown trace family %q\n", *traceKind)
+		os.Exit(2)
+	}
+	if err := tr.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "paltrace: invalid trace: %v\n", err)
+		os.Exit(1)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paltrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := tr.Save(f); err != nil {
+			fmt.Fprintf(os.Stderr, "paltrace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "paltrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d jobs)\n", *save, len(tr.Jobs))
+	}
+
+	fmt.Printf("trace %s: %d jobs\n", tr.Name, len(tr.Jobs))
+	span := tr.Jobs[len(tr.Jobs)-1].Arrival - tr.Jobs[0].Arrival
+	if span > 0 {
+		fmt.Printf("  arrival span %.2f h (%.1f jobs/hour)\n",
+			span/3600, float64(len(tr.Jobs)-1)/span*3600)
+	}
+	fmt.Printf("  single-GPU fraction %.1f%%, max demand %d\n",
+		100*tr.SingleGPUFraction(), tr.MaxDemand())
+	fmt.Printf("  total demand %.0f GPU-hours\n", tr.TotalGPUSeconds()/3600)
+
+	demands := map[int]int{}
+	models := map[string]int{}
+	var works []float64
+	for _, j := range tr.Jobs {
+		demands[j.Demand]++
+		models[j.Model]++
+		works = append(works, j.Work)
+	}
+	fmt.Println("  demand distribution:")
+	var keys []int
+	for d := range demands {
+		keys = append(keys, d)
+	}
+	sort.Ints(keys)
+	for _, d := range keys {
+		fmt.Printf("    %3d GPUs: %4d jobs (%.1f%%)\n",
+			d, demands[d], 100*float64(demands[d])/float64(len(tr.Jobs)))
+	}
+	fmt.Println("  model mix:")
+	var names []string
+	for m := range models {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	for _, m := range names {
+		fmt.Printf("    %-10s %4d jobs\n", m, models[m])
+	}
+	w := stats.Summarize(works)
+	fmt.Printf("  ideal duration: median %.0fs mean %.0fs p99 %.0fs max %.0fs\n",
+		w.Median, w.Mean, w.P99, w.Max)
+
+	if *dump > 0 {
+		fmt.Println("  first jobs:")
+		for i, j := range tr.Jobs {
+			if i >= *dump {
+				break
+			}
+			fmt.Printf("    job %3d: t=%7.0fs model=%-9s class=%s demand=%2d work=%6.0fs\n",
+				j.ID, j.Arrival, j.Model, j.Class, j.Demand, j.Work)
+		}
+	}
+}

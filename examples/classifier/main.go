@@ -1,0 +1,58 @@
+// Classifier walkthrough: compute the DRAMUtil x PeakFUUtil coordinates
+// of the paper's nine profiled applications (Fig. 3), group them into
+// three variability classes with K-Means, and classify a new, unseen
+// application against the existing centroids (§III-A).
+//
+//	go run ./examples/classifier
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/classifier"
+	"repro/internal/vprof"
+)
+
+func main() {
+	apps := classifier.BuiltinApps()
+	cl, err := classifier.Classify(apps, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Figure 3: applications in the PeakFUUtil x DRAMUtil plane")
+	fmt.Printf("%-18s  %-10s  %-8s  %s\n", "app", "PeakFU", "DRAM", "class")
+	for _, a := range apps {
+		fu, dram := a.Point()
+		c, _ := cl.ClassOf(a.Name)
+		fmt.Printf("%-18s  %-10.2f  %-8.2f  Class %s\n", a.Name, fu, dram, c)
+	}
+	fmt.Println()
+	for c, ctr := range cl.Centers {
+		fmt.Printf("Class %s centroid: PeakFU=%.2f DRAM=%.2f\n", vprof.Class(c), ctr[0], ctr[1])
+	}
+
+	// A new application arrives: profile its kernels, then assign it to
+	// the nearest existing class — no cluster-wide re-profiling needed.
+	newApp := classifier.AppMetrics{
+		Name: "llama-train",
+		Kernels: []classifier.Kernel{
+			{Name: "attn_gemm", Runtime: 6, DRAMBW: 0.35,
+				FUUtil: fuUtil(7.5, 0, 0, 0.5, 6.0)},
+			{Name: "layernorm", Runtime: 1.5, DRAMBW: 0.6,
+				FUUtil: fuUtil(2.0, 0, 0, 0.5, 0)},
+		},
+	}
+	fu, dram := newApp.Point()
+	class := cl.ClassifyNew(newApp)
+	fmt.Printf("\nnew app %q: PeakFU=%.2f DRAM=%.2f -> Class %s\n",
+		newApp.Name, fu, dram, class)
+	fmt.Println("(Class A jobs get placement priority and the best PM-score GPUs.)")
+}
+
+// fuUtil packs per-function-unit utilizations in the classifier's order:
+// fp32, fp64, texture, special, tensor.
+func fuUtil(fp32, fp64, tex, sfu, tensor float64) [5]float64 {
+	return [5]float64{fp32, fp64, tex, sfu, tensor}
+}

@@ -1,0 +1,108 @@
+// Custom policy: the engine's Placer interface makes new placement
+// policies pluggable. This example implements "Striped" placement — round
+// robin across nodes, a strategy some clusters use to balance thermals —
+// and races it against PAL on the same trace, demonstrating how to slot a
+// user-defined policy into the evaluation harness.
+//
+//	go run ./examples/custompolicy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vprof"
+)
+
+// Striped allocates each job's GPUs round-robin across nodes, maximally
+// spreading load (the opposite of packing). It implements sim.Placer.
+type Striped struct {
+	next int // rotating node cursor
+}
+
+// Name implements sim.Placer.
+func (s *Striped) Name() string { return "striped" }
+
+// Sticky implements sim.Placer.
+func (s *Striped) Sticky() bool { return false }
+
+// PlaceRound implements sim.Placer.
+func (s *Striped) PlaceRound(c *cluster.Cluster, need []*sim.Job, _ float64) map[int][]cluster.GPUID {
+	out := make(map[int][]cluster.GPUID, len(need))
+	var reserved []cluster.GPUID
+	for _, j := range need {
+		alloc := make([]cluster.GPUID, 0, j.Spec.Demand)
+		for len(alloc) < j.Spec.Demand {
+			// Walk nodes from the cursor until a free GPU turns up.
+			for tries := 0; tries < c.NumNodes(); tries++ {
+				node := cluster.NodeID((s.next + tries) % c.NumNodes())
+				found := false
+				for _, g := range c.GPUsOnNode(node) {
+					if c.IsFree(g) {
+						alloc = append(alloc, g)
+						c.Allocate(j.Spec.ID, []cluster.GPUID{g})
+						reserved = append(reserved, g)
+						found = true
+						break
+					}
+				}
+				if found {
+					s.next = (int(node) + 1) % c.NumNodes()
+					break
+				}
+			}
+		}
+		out[j.Spec.ID] = alloc
+	}
+	c.Release(reserved)
+	return out
+}
+
+func main() {
+	topo := cluster.Topology{NumNodes: 16, GPUsPerNode: 4}
+	profile := vprof.GenerateLonghorn(topo.Size(), 7)
+	binned := vprof.BinProfile(profile)
+
+	params := trace.DefaultSiaPhillyParams()
+	params.NumJobs = 80
+	params.WindowHours = 4
+	tr := trace.SiaPhilly(params, 2)
+
+	run := func(p sim.Placer) float64 {
+		res, err := sim.Run(sim.Config{
+			Topology:    topo,
+			Trace:       tr,
+			Sched:       sched.FIFO{},
+			Placer:      p,
+			TrueProfile: profile,
+			Lacross:     1.5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return stats.Mean(res.JCTs())
+	}
+
+	results := []struct {
+		name string
+		jct  float64
+	}{
+		{"Striped (custom)", run(&Striped{})},
+		{"Tiresias", run(place.NewPacked(true, 3))},
+		{"PAL", run(core.NewPAL(binned, 1.5, nil))},
+	}
+	fmt.Println("80-job Sia-style trace, 64 GPUs, FIFO, L_across = 1.5")
+	for _, r := range results {
+		fmt.Printf("  %-18s avg JCT %7.1f s\n", r.name, r.jct)
+	}
+	fmt.Println("\nStriped maximizes spreading, paying the inter-node penalty on")
+	fmt.Println("every multi-GPU job; PAL pays it only when the variability win")
+	fmt.Println("is worth it. Implement sim.Placer to test your own policy.")
+}

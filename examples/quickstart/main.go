@@ -1,0 +1,78 @@
+// Quickstart: build a small GPU cluster with a synthetic variability
+// profile, schedule a tiny workload under Tiresias (Packed-Sticky) and
+// PAL, and compare job completion times.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vprof"
+)
+
+func main() {
+	// 1. A 8-node x 4-GPU cluster with Longhorn-like variability.
+	topo := cluster.Topology{NumNodes: 8, GPUsPerNode: 4}
+	profile := vprof.GenerateLonghorn(topo.Size(), 42)
+	fmt.Printf("cluster: %d GPUs, Class A variability %.1f%% (max %.2fx)\n",
+		topo.Size(), 100*profile.Variability(vprof.ClassA), profile.MaxScore(vprof.ClassA))
+
+	// 2. Bin the raw per-GPU scores with silhouette-selected K-Means
+	//    (this is what PAL consults at placement time).
+	binned := vprof.BinProfile(profile)
+	fmt.Printf("Class A PM-score bins: %v\n", roundAll(binned.BinScores(vprof.ClassA)))
+
+	// 3. A small trace: 40 jobs over 2 hours from the Table II model mix.
+	params := trace.DefaultSiaPhillyParams()
+	params.NumJobs = 40
+	params.WindowHours = 2
+	tr := trace.SiaPhilly(params, 1)
+
+	// 4. Run the same trace under both placement policies.
+	run := func(placer sim.Placer) *sim.Result {
+		res, err := sim.Run(sim.Config{
+			Topology:    topo,
+			Trace:       tr,
+			Sched:       sched.FIFO{},
+			Placer:      placer,
+			TrueProfile: profile,
+			Lacross:     1.5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	tiresias := run(place.NewPacked(true, 1))
+	pal := run(core.NewPAL(binned, 1.5, nil))
+
+	// 5. Compare.
+	tJCT := stats.Mean(tiresias.JCTs())
+	pJCT := stats.Mean(pal.JCTs())
+	fmt.Printf("\n%-22s avg JCT %7.1fs  makespan %7.1fs  utilization %.2f\n",
+		"Tiresias (baseline):", tJCT, tiresias.Makespan, tiresias.Utilization)
+	fmt.Printf("%-22s avg JCT %7.1fs  makespan %7.1fs  utilization %.2f\n",
+		"PAL:", pJCT, pal.Makespan, pal.Utilization)
+	fmt.Printf("\nPAL improves average JCT by %.1f%%\n", 100*stats.Improvement(tJCT, pJCT))
+
+	// 6. Peek at the L x V matrix PAL traverses for Class A jobs.
+	palPolicy := core.NewPAL(binned, 1.5, nil)
+	fmt.Printf("\nClass A %s", palPolicy.Matrix(vprof.ClassA))
+}
+
+func roundAll(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(int(x*1000)) / 1000
+	}
+	return out
+}

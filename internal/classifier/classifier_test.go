@@ -1,0 +1,181 @@
+package classifier
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vprof"
+)
+
+func TestDRAMUtilFormula(t *testing.T) {
+	// Two kernels: runtime 3 at 0.5 bandwidth fraction, runtime 1 at 0.9.
+	app := AppMetrics{Name: "x", Kernels: []Kernel{
+		kern("a", 3, 0, 0, 0, 0, 0, 0.5),
+		kern("b", 1, 0, 0, 0, 0, 0, 0.9),
+	}}
+	want := (3*0.5*10 + 1*0.9*10) / 4
+	if got := app.DRAMUtil(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("DRAMUtil = %v, want %v", got, want)
+	}
+}
+
+func TestFUUtilFormula(t *testing.T) {
+	// FU_util = sum(runtime*util) / sum(runtime*10) scaled to [0,10].
+	app := AppMetrics{Name: "x", Kernels: []Kernel{
+		kern("a", 2, 8, 0, 0, 0, 0, 0),
+		kern("b", 2, 4, 0, 0, 0, 0, 0),
+	}}
+	want := (2*8.0 + 2*4.0) / (4 * 10) * 10 // = 6
+	if got := app.FUUtil(FUSingle); math.Abs(got-want) > 1e-12 {
+		t.Errorf("FUUtil = %v, want %v", got, want)
+	}
+}
+
+func TestPeakFUUtilTakesMax(t *testing.T) {
+	app := AppMetrics{Name: "x", Kernels: []Kernel{
+		kern("a", 1, 3, 0, 0, 0, 9, 0),
+	}}
+	if got := app.PeakFUUtil(); math.Abs(got-9) > 1e-12 {
+		t.Errorf("PeakFUUtil = %v, want 9 (tensor)", got)
+	}
+}
+
+func TestEmptyAppMetrics(t *testing.T) {
+	app := AppMetrics{Name: "empty"}
+	if app.DRAMUtil() != 0 || app.PeakFUUtil() != 0 {
+		t.Error("empty app should score 0")
+	}
+}
+
+func TestFuncUnitString(t *testing.T) {
+	names := map[FuncUnit]string{
+		FUSingle: "fp32", FUDouble: "fp64", FUTexture: "tex",
+		FUSpecial: "sfu", FUTensor: "tensor",
+	}
+	for fu, want := range names {
+		if fu.String() != want {
+			t.Errorf("%d.String() = %q, want %q", fu, fu.String(), want)
+		}
+	}
+	if FuncUnit(42).String() == "" {
+		t.Error("unknown FU should stringify")
+	}
+}
+
+func TestBuiltinClassificationMatchesTableII(t *testing.T) {
+	cl := DefaultClassification()
+	want := map[string]vprof.Class{
+		"sgemm":             vprof.ClassA,
+		"vgg19":             vprof.ClassA,
+		"dcgan":             vprof.ClassA,
+		"single_gpu_resnet": vprof.ClassA,
+		"multi_gpu_resnet":  vprof.ClassA,
+		"bert":              vprof.ClassB,
+		"lammps":            vprof.ClassB,
+		"pagerank":          vprof.ClassC,
+		"pointnet":          vprof.ClassC,
+	}
+	for app, wantClass := range want {
+		got, ok := cl.ClassOf(app)
+		if !ok {
+			t.Errorf("%s not classified", app)
+			continue
+		}
+		if got != wantClass {
+			t.Errorf("%s classified %v, want %v", app, got, wantClass)
+		}
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	if _, err := Classify(nil, 3); err == nil {
+		t.Error("classifying nothing should error")
+	}
+	apps := BuiltinApps()
+	if _, err := Classify(apps, 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := Classify(apps, len(apps)+1); err == nil {
+		t.Error("k>n should error")
+	}
+}
+
+func TestClassifyOrdering(t *testing.T) {
+	// Class centroids must be ordered by descending compute intensity.
+	cl := DefaultClassification()
+	for i := 1; i < len(cl.Centers); i++ {
+		prev := cl.Centers[i-1][0] - cl.Centers[i-1][1]
+		cur := cl.Centers[i][0] - cl.Centers[i][1]
+		if cur > prev {
+			t.Errorf("class %d more compute-intense than class %d", i, i-1)
+		}
+	}
+}
+
+func TestClassifyNew(t *testing.T) {
+	cl := DefaultClassification()
+	// A synthetic compute-bound app lands in Class A.
+	hot := AppMetrics{Name: "new-gemm", Kernels: []Kernel{
+		kern("k", 1, 9.5, 0, 0, 0, 0, 0.2),
+	}}
+	if got := cl.ClassifyNew(hot); got != vprof.ClassA {
+		t.Errorf("compute-bound new app classified %v", got)
+	}
+	// A memory-bound app lands in the last class.
+	cold := AppMetrics{Name: "new-spmv", Kernels: []Kernel{
+		kern("k", 1, 1.0, 0, 0, 0, 0, 0.75),
+	}}
+	if got := cl.ClassifyNew(cold); got != vprof.ClassC {
+		t.Errorf("memory-bound new app classified %v", got)
+	}
+}
+
+func TestApps(t *testing.T) {
+	cl := DefaultClassification()
+	apps := cl.Apps()
+	if len(apps) != 9 {
+		t.Errorf("Apps() = %d names", len(apps))
+	}
+	for i := 1; i < len(apps); i++ {
+		if apps[i] < apps[i-1] {
+			t.Error("Apps() not sorted")
+		}
+	}
+}
+
+func TestModelClassAliases(t *testing.T) {
+	cl := DefaultClassification()
+	cases := map[string]int{
+		"resnet50": int(vprof.ClassA),
+		"gpt2":     int(vprof.ClassB),
+		"vgg":      int(vprof.ClassA),
+		"pointnet": int(vprof.ClassC),
+	}
+	for model, want := range cases {
+		got, known := ModelClass(cl, model)
+		if !known {
+			t.Errorf("%s unknown", model)
+			continue
+		}
+		if got != want {
+			t.Errorf("ModelClass(%s) = %d, want %d", model, got, want)
+		}
+	}
+	if got, known := ModelClass(cl, "never-heard-of-it"); known || got != 1 {
+		t.Errorf("unknown model = (%d, %v), want (1, false)", got, known)
+	}
+}
+
+func TestTableIIModelClasses(t *testing.T) {
+	// The six Table II models map to the classes the paper lists:
+	// pointnet C; vgg19, dcgan, resnet50 A; bert, gpt2 B.
+	cl := DefaultClassification()
+	cases := map[string]int{
+		"pointnet": 2, "vgg19": 0, "dcgan": 0, "bert": 1, "resnet50": 0, "gpt2": 1,
+	}
+	for model, want := range cases {
+		if got, _ := ModelClass(cl, model); got != want {
+			t.Errorf("Table II model %s class = %d, want %d", model, got, want)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package classifier_test
+
+import (
+	"fmt"
+
+	"repro/internal/classifier"
+)
+
+// ExampleClassify groups the paper's nine profiled applications
+// (Figure 3) into the three Table II classes.
+func ExampleClassify() {
+	cl, err := classifier.Classify(classifier.BuiltinApps(), 3)
+	if err != nil {
+		panic(err)
+	}
+	for _, name := range []string{"resnet50", "sgemm", "bert", "pagerank"} {
+		// resnet50 is a trace alias; the profiled app is single_gpu_resnet.
+		lookup := name
+		if name == "resnet50" {
+			lookup = "single_gpu_resnet"
+		}
+		class, _ := cl.ClassOf(lookup)
+		fmt.Printf("%s -> Class %s\n", name, class)
+	}
+	// Output:
+	// resnet50 -> Class A
+	// sgemm -> Class A
+	// bert -> Class B
+	// pagerank -> Class C
+}
+
+// ExampleClassification_ClassifyNew assigns an unseen application to the
+// nearest existing class centroid — the §III-A workflow for new models
+// arriving at the cluster.
+func ExampleClassification_ClassifyNew() {
+	cl, _ := classifier.Classify(classifier.BuiltinApps(), 3)
+	newApp := classifier.AppMetrics{
+		Name: "new-gemm-heavy",
+		Kernels: []classifier.Kernel{
+			{Name: "gemm", Runtime: 10, DRAMBW: 0.2,
+				FUUtil: [5]float64{9.4, 0, 0, 0.2, 1.0}},
+		},
+	}
+	fmt.Printf("Class %s\n", cl.ClassifyNew(newApp))
+	// Output:
+	// Class A
+}

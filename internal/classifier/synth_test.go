@@ -1,0 +1,95 @@
+package classifier
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/vprof"
+)
+
+func TestSynthesizeShape(t *testing.T) {
+	r := rng.New(1)
+	for _, a := range DefaultArchetypes() {
+		app := Synthesize(a, "x", r)
+		if len(app.Kernels) < 2 || len(app.Kernels) > 5 {
+			t.Errorf("%s: %d kernels", a.Class, len(app.Kernels))
+		}
+		fu, dram := app.Point()
+		if fu <= 0 || fu > 10 || dram <= 0 || dram > 10 {
+			t.Errorf("%s: point (%v, %v) outside nsight range", a.Class, fu, dram)
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := DefaultArchetypes()[0]
+	x := Synthesize(a, "x", rng.New(7))
+	y := Synthesize(a, "x", rng.New(7))
+	if len(x.Kernels) != len(y.Kernels) {
+		t.Fatal("kernel count differs")
+	}
+	for i := range x.Kernels {
+		if x.Kernels[i] != y.Kernels[i] {
+			t.Fatalf("kernel %d differs", i)
+		}
+	}
+}
+
+// TestClassifierRoundTrip: synthetic apps of each archetype, classified
+// against the builtin Figure-3 centroids, must land in their ground-truth
+// class with high accuracy — the §III-A "new application" workflow.
+func TestClassifierRoundTrip(t *testing.T) {
+	cl := DefaultClassification()
+	apps, truth := SynthesizeBatch(DefaultArchetypes(), 40, 99)
+	correct := 0
+	for i, app := range apps {
+		if cl.ClassifyNew(app) == truth[i] {
+			correct++
+		}
+	}
+	accuracy := float64(correct) / float64(len(apps))
+	if accuracy < 0.9 {
+		t.Errorf("round-trip accuracy = %.2f, want >= 0.9", accuracy)
+	}
+}
+
+// TestClassifyFromScratchOnSynthetic: K-Means on a purely synthetic
+// population recovers three ordered classes whose members match the
+// archetypes.
+func TestClassifyFromScratchOnSynthetic(t *testing.T) {
+	apps, truth := SynthesizeBatch(DefaultArchetypes(), 25, 42)
+	cl, err := Classify(apps, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, app := range apps {
+		got, ok := cl.ClassOf(app.Name)
+		if !ok {
+			t.Fatalf("app %s unclassified", app.Name)
+		}
+		if got == truth[i] {
+			correct++
+		}
+	}
+	accuracy := float64(correct) / float64(len(apps))
+	if accuracy < 0.85 {
+		t.Errorf("from-scratch accuracy = %.2f, want >= 0.85", accuracy)
+	}
+}
+
+func TestSynthesizeBatchLabels(t *testing.T) {
+	apps, truth := SynthesizeBatch(DefaultArchetypes(), 3, 1)
+	if len(apps) != 9 || len(truth) != 9 {
+		t.Fatalf("batch size %d/%d", len(apps), len(truth))
+	}
+	counts := map[vprof.Class]int{}
+	for _, c := range truth {
+		counts[c]++
+	}
+	for c, n := range counts {
+		if n != 3 {
+			t.Errorf("class %s count %d", c, n)
+		}
+	}
+}

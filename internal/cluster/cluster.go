@@ -1,0 +1,232 @@
+// Package cluster models the GPU cluster that the scheduler allocates
+// from: a two-level topology of nodes each holding a fixed number of GPUs,
+// plus the free/busy allocation state the placement policies manipulate.
+//
+// The model matches the systems the paper evaluates on (TACC Frontera and
+// Longhorn: 4 GPUs per node, flat fat-tree interconnect). Following the
+// paper's simplified locality model (§III-C1), a job suffers no locality
+// penalty if its allocation fits within one node and a constant penalty
+// L_across if it spans nodes. An optional rack level is supported as an
+// extension for deeper L×V matrices.
+package cluster
+
+import "fmt"
+
+// GPUID identifies a GPU within a cluster; IDs are dense in [0, Size).
+type GPUID int
+
+// NodeID identifies a node within a cluster; IDs are dense in [0, NumNodes).
+type NodeID int
+
+// Topology describes the shape of a cluster.
+type Topology struct {
+	NumNodes     int // number of nodes
+	GPUsPerNode  int // identical GPUs per node
+	NodesPerRack int // optional rack grouping; 0 or >= NumNodes means a single rack
+}
+
+// Size returns the total number of GPUs described by the topology.
+func (t Topology) Size() int { return t.NumNodes * t.GPUsPerNode }
+
+// Validate reports whether the topology is well formed.
+func (t Topology) Validate() error {
+	if t.NumNodes <= 0 {
+		return fmt.Errorf("cluster: NumNodes must be positive, got %d", t.NumNodes)
+	}
+	if t.GPUsPerNode <= 0 {
+		return fmt.Errorf("cluster: GPUsPerNode must be positive, got %d", t.GPUsPerNode)
+	}
+	if t.NodesPerRack < 0 {
+		return fmt.Errorf("cluster: NodesPerRack must be non-negative, got %d", t.NodesPerRack)
+	}
+	return nil
+}
+
+// Cluster is the allocatable state of a GPU cluster. It tracks which GPUs
+// are free and which job owns each busy GPU. Cluster is not safe for
+// concurrent use; the round-based engine drives it from a single goroutine.
+type Cluster struct {
+	topo  Topology
+	free  []bool // free[g] reports whether GPU g is unallocated
+	owner []int  // owner[g] is the job ID holding GPU g, or -1
+	nfree int
+}
+
+// New creates a cluster with the given topology, all GPUs free.
+// It panics if the topology is invalid (a programming error, not an input
+// error: topologies are fixed in experiment configs).
+func New(topo Topology) *Cluster {
+	if err := topo.Validate(); err != nil {
+		panic(err)
+	}
+	n := topo.Size()
+	c := &Cluster{
+		topo:  topo,
+		free:  make([]bool, n),
+		owner: make([]int, n),
+		nfree: n,
+	}
+	for i := range c.free {
+		c.free[i] = true
+		c.owner[i] = -1
+	}
+	return c
+}
+
+// Topology returns the cluster's topology.
+func (c *Cluster) Topology() Topology { return c.topo }
+
+// Size returns the total number of GPUs.
+func (c *Cluster) Size() int { return len(c.free) }
+
+// NumNodes returns the number of nodes.
+func (c *Cluster) NumNodes() int { return c.topo.NumNodes }
+
+// GPUsPerNode returns the number of GPUs per node.
+func (c *Cluster) GPUsPerNode() int { return c.topo.GPUsPerNode }
+
+// NodeOf returns the node hosting GPU g.
+func (c *Cluster) NodeOf(g GPUID) NodeID {
+	return NodeID(int(g) / c.topo.GPUsPerNode)
+}
+
+// RackOf returns the rack hosting GPU g. With no rack grouping configured
+// every GPU is in rack 0.
+func (c *Cluster) RackOf(g GPUID) int {
+	if c.topo.NodesPerRack <= 0 {
+		return 0
+	}
+	return int(c.NodeOf(g)) / c.topo.NodesPerRack
+}
+
+// GPUsOnNode returns the IDs of all GPUs on node n, in ascending order.
+func (c *Cluster) GPUsOnNode(n NodeID) []GPUID {
+	out := make([]GPUID, c.topo.GPUsPerNode)
+	base := int(n) * c.topo.GPUsPerNode
+	for i := range out {
+		out[i] = GPUID(base + i)
+	}
+	return out
+}
+
+// NumFree returns the number of free GPUs.
+func (c *Cluster) NumFree() int { return c.nfree }
+
+// IsFree reports whether GPU g is free.
+func (c *Cluster) IsFree(g GPUID) bool { return c.free[g] }
+
+// Owner returns the job ID currently holding GPU g, or -1 if g is free.
+func (c *Cluster) Owner(g GPUID) int { return c.owner[g] }
+
+// FreeGPUs returns the IDs of all free GPUs in ascending order. The
+// returned slice is freshly allocated; callers may reorder it.
+func (c *Cluster) FreeGPUs() []GPUID {
+	out := make([]GPUID, 0, c.nfree)
+	for g, f := range c.free {
+		if f {
+			out = append(out, GPUID(g))
+		}
+	}
+	return out
+}
+
+// FreeOnNode returns the number of free GPUs on node n.
+func (c *Cluster) FreeOnNode(n NodeID) int {
+	count := 0
+	base := int(n) * c.topo.GPUsPerNode
+	for i := 0; i < c.topo.GPUsPerNode; i++ {
+		if c.free[base+i] {
+			count++
+		}
+	}
+	return count
+}
+
+// Allocate marks the given GPUs as owned by job jobID. It panics if any
+// GPU is already allocated: placement policies must only hand out free
+// GPUs, and a violation indicates a policy bug rather than a recoverable
+// condition.
+func (c *Cluster) Allocate(jobID int, gpus []GPUID) {
+	for _, g := range gpus {
+		if !c.free[g] {
+			panic(fmt.Sprintf("cluster: GPU %d already allocated to job %d (allocating for job %d)",
+				g, c.owner[g], jobID))
+		}
+	}
+	for _, g := range gpus {
+		c.free[g] = false
+		c.owner[g] = jobID
+		c.nfree--
+	}
+}
+
+// Release frees the given GPUs. It panics if any GPU is already free,
+// which would indicate double-release in the engine.
+func (c *Cluster) Release(gpus []GPUID) {
+	for _, g := range gpus {
+		if c.free[g] {
+			panic(fmt.Sprintf("cluster: GPU %d released twice", g))
+		}
+	}
+	for _, g := range gpus {
+		c.free[g] = true
+		c.owner[g] = -1
+		c.nfree++
+	}
+}
+
+// NodesSpanned returns the number of distinct nodes covered by the given
+// GPU set. The locality model charges L_across whenever this exceeds 1.
+func (c *Cluster) NodesSpanned(gpus []GPUID) int {
+	if len(gpus) == 0 {
+		return 0
+	}
+	seen := make(map[NodeID]struct{}, 4)
+	for _, g := range gpus {
+		seen[c.NodeOf(g)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// RacksSpanned returns the number of distinct racks covered by the given
+// GPU set (extension for three-level locality).
+func (c *Cluster) RacksSpanned(gpus []GPUID) int {
+	if len(gpus) == 0 {
+		return 0
+	}
+	seen := make(map[int]struct{}, 4)
+	for _, g := range gpus {
+		seen[c.RackOf(g)] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Reset frees every GPU, returning the cluster to its initial state.
+func (c *Cluster) Reset() {
+	for i := range c.free {
+		c.free[i] = true
+		c.owner[i] = -1
+	}
+	c.nfree = len(c.free)
+}
+
+// CheckInvariants verifies internal consistency (free count matches the
+// free bitmap; owners are -1 exactly on free GPUs). It is used by tests
+// and returns an error describing the first violation found.
+func (c *Cluster) CheckInvariants() error {
+	count := 0
+	for g, f := range c.free {
+		if f {
+			count++
+			if c.owner[g] != -1 {
+				return fmt.Errorf("cluster: free GPU %d has owner %d", g, c.owner[g])
+			}
+		} else if c.owner[g] < 0 {
+			return fmt.Errorf("cluster: busy GPU %d has no owner", g)
+		}
+	}
+	if count != c.nfree {
+		return fmt.Errorf("cluster: free count %d != bitmap count %d", c.nfree, count)
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleBuildLV reproduces the worked L×V matrix of §III-C1: four
+// PM-score bins and an inter-node penalty of 1.5. The traversal visits
+// allocations from smallest to largest combined slowdown, which is why
+// PAL prefers a distributed allocation at V=0.94 (product 1.41) over a
+// packed allocation from the 2.55 bin.
+func ExampleBuildLV() {
+	m, err := core.BuildLV([]float64{1.0, 1.5}, []float64{0.89, 0.94, 1.06, 2.55})
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range m.Entries {
+		fmt.Printf("(%.2f, %.2f) -> %.3f\n", e.L, e.V, e.Product())
+	}
+	// Output:
+	// (1.00, 0.89) -> 0.890
+	// (1.00, 0.94) -> 0.940
+	// (1.00, 1.06) -> 1.060
+	// (1.50, 0.89) -> 1.335
+	// (1.50, 0.94) -> 1.410
+	// (1.50, 1.06) -> 1.590
+	// (1.00, 2.55) -> 2.550
+	// (1.50, 2.55) -> 3.825
+}

@@ -1,0 +1,114 @@
+// Package core implements the paper's primary contribution: the PM-First
+// placement policy (§III-B, Algorithm 1) and the PAL placement policy
+// (§III-C, Algorithm 2) with its locality × variability (L×V) matrix.
+//
+// Both policies consume per-class, per-GPU PM scores (package vprof) —
+// normalized iteration times where the median GPU scores 1.0 and lower is
+// better — and give class-A (variability-sensitive) jobs first pick of
+// well-performing GPUs without violating the scheduling policy's
+// guarantees (placement priority is separated from scheduling priority,
+// Fig. 4).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// LVEntry is one cell of the L×V matrix: a locality level paired with a
+// PM-score bin. Product = L × V is the combined slowdown (the LV-Product
+// of §III-C1) that PAL minimizes.
+type LVEntry struct {
+	// Level indexes the locality level: 0 is within-node (L = 1.0); the
+	// last level is fully across nodes. Intermediate levels (e.g. within-
+	// rack) are an extension.
+	Level int
+	// L is the locality penalty of the level.
+	L float64
+	// Bin indexes the PM-score bin of the job's class.
+	Bin int
+	// V is the bin's centroid PM score.
+	V float64
+}
+
+// Product returns the entry's LV-product.
+func (e LVEntry) Product() float64 { return e.L * e.V }
+
+// LVMatrix is the per-class traversal structure of §III-C1: all (locality
+// level, PM bin) combinations sorted ascending by LV-product. Ties prefer
+// the more local level (packing) and then the better bin, keeping the
+// traversal deterministic.
+type LVMatrix struct {
+	Levels  []float64 // locality penalties, ascending; Levels[0] == 1.0
+	Bins    []float64 // PM-score bin centroids, ascending
+	Entries []LVEntry // traversal order
+}
+
+// BuildLV constructs the L×V matrix for one class. levels must be
+// non-empty with levels[0] the within-node penalty (1.0 in the paper's
+// model); bins must be the class's ascending PM-score bin centroids.
+func BuildLV(levels, bins []float64) (*LVMatrix, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("core: L×V matrix needs at least one locality level")
+	}
+	if len(bins) == 0 {
+		return nil, fmt.Errorf("core: L×V matrix needs at least one PM bin")
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] < levels[i-1] {
+			return nil, fmt.Errorf("core: locality penalties must be ascending")
+		}
+	}
+	for i := 1; i < len(bins); i++ {
+		if bins[i] < bins[i-1] {
+			return nil, fmt.Errorf("core: PM bins must be ascending")
+		}
+	}
+	m := &LVMatrix{
+		Levels: append([]float64(nil), levels...),
+		Bins:   append([]float64(nil), bins...),
+	}
+	m.Entries = make([]LVEntry, 0, len(levels)*len(bins))
+	for li, l := range m.Levels {
+		for bi, v := range m.Bins {
+			m.Entries = append(m.Entries, LVEntry{Level: li, L: l, Bin: bi, V: v})
+		}
+	}
+	sort.SliceStable(m.Entries, func(a, b int) bool {
+		ea, eb := m.Entries[a], m.Entries[b]
+		pa, pb := ea.Product(), eb.Product()
+		if pa != pb {
+			return pa < pb
+		}
+		if ea.Level != eb.Level {
+			return ea.Level < eb.Level // prefer packing on ties
+		}
+		return ea.Bin < eb.Bin
+	})
+	return m, nil
+}
+
+// String renders the matrix in the paper's layout (one row per locality
+// level) followed by the traversal order, for logs and the quickstart
+// example.
+func (m *LVMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "L×V matrix (%d levels × %d bins)\n", len(m.Levels), len(m.Bins))
+	for li, l := range m.Levels {
+		fmt.Fprintf(&b, "  L=%.2f:", l)
+		for _, v := range m.Bins {
+			fmt.Fprintf(&b, " %6.2f", l*v)
+		}
+		if li == 0 {
+			b.WriteString("  (within-node)")
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("  traversal:")
+	for _, e := range m.Entries {
+		fmt.Fprintf(&b, " (%.2f,%.2f)", e.L, e.V)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// TestPaperExampleMatrix reproduces the worked example of §III-C1: bins
+// V = {0.89, 0.94, 1.06, 2.55} with L_across = 1.5 must traverse
+// (1,0.89) (1,0.94) (1,1.06) (1.5,1.34) (1.5,1.41) (1.5,1.59) (1.5,3.88).
+func TestPaperExampleMatrix(t *testing.T) {
+	bins := []float64{0.89, 0.94, 1.06, 2.55}
+	m, err := BuildLV([]float64{1.0, 1.5}, bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) != 8 {
+		t.Fatalf("entries = %d, want 8 (2 levels x 4 bins)", len(m.Entries))
+	}
+	// The paper's example lists 7 steps because (1, 2.55) with product
+	// 2.55 sits between 1.59 and 3.88; check the first seven positions
+	// against the published order up to where 2.55 interleaves.
+	got := m.Entries
+	checks := []struct {
+		idx     int
+		product float64
+		within  bool
+	}{
+		{0, 0.89, true},
+		{1, 0.94, true},
+		{2, 1.06, true},
+		{3, 1.335, false}, // 1.5 x 0.89
+		{4, 1.41, false},  // 1.5 x 0.94
+		{5, 1.59, false},  // 1.5 x 1.06
+		{6, 2.55, true},   // within-node at the worst bin
+		{7, 3.825, false}, // 1.5 x 2.55
+	}
+	for _, c := range checks {
+		e := got[c.idx]
+		if math.Abs(e.Product()-c.product) > 1e-9 {
+			t.Errorf("entry %d product = %v, want %v", c.idx, e.Product(), c.product)
+		}
+		if (e.Level == 0) != c.within {
+			t.Errorf("entry %d within = %v, want %v", c.idx, e.Level == 0, c.within)
+		}
+	}
+}
+
+func TestBuildLVErrors(t *testing.T) {
+	if _, err := BuildLV(nil, []float64{1}); err == nil {
+		t.Error("no levels should error")
+	}
+	if _, err := BuildLV([]float64{1}, nil); err == nil {
+		t.Error("no bins should error")
+	}
+	if _, err := BuildLV([]float64{1.5, 1.0}, []float64{1}); err == nil {
+		t.Error("descending levels should error")
+	}
+	if _, err := BuildLV([]float64{1.0}, []float64{2, 1}); err == nil {
+		t.Error("descending bins should error")
+	}
+}
+
+// TestTraversalSortedProperty: entries must always be sorted ascending by
+// product with ties preferring more-local levels.
+func TestTraversalSortedProperty(t *testing.T) {
+	check := func(seed uint64) bool {
+		r := rng.New(seed)
+		nbins := 1 + r.Intn(8)
+		bins := make([]float64, nbins)
+		v := 0.8
+		for i := range bins {
+			v += r.Float64() * 0.5
+			bins[i] = v
+		}
+		lacross := 1.0 + r.Float64()*2
+		m, err := BuildLV([]float64{1.0, lacross}, bins)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(m.Entries); i++ {
+			a, b := m.Entries[i-1], m.Entries[i]
+			if b.Product() < a.Product()-1e-12 {
+				return false
+			}
+			if b.Product() == a.Product() && b.Level < a.Level {
+				return false
+			}
+		}
+		return len(m.Entries) == 2*nbins
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreeLevelMatrix(t *testing.T) {
+	// Extension: a rack level between node and cluster.
+	m, err := BuildLV([]float64{1.0, 1.2, 1.7}, []float64{0.9, 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) != 6 {
+		t.Fatalf("entries = %d, want 6", len(m.Entries))
+	}
+	if m.Entries[0].Product() != 0.9*1.0 {
+		t.Errorf("first entry %v", m.Entries[0])
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m, _ := BuildLV([]float64{1.0, 1.5}, []float64{0.89, 0.94, 1.06, 2.55})
+	s := m.String()
+	if s == "" {
+		t.Fatal("empty render")
+	}
+	for _, want := range []string{"traversal:", "within-node", "0.89"} {
+		if !contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

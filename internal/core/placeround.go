@@ -1,0 +1,101 @@
+package core
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/vprof"
+)
+
+// placeWithHysteresis is the two-pass allocation loop shared by PM-First
+// and PAL.
+//
+// Both policies are Non-Sticky so jobs *can* migrate to better GPUs every
+// round, but a migration costs a checkpoint/restore, so a rational policy
+// only moves a job when the move strictly improves its allocation. The
+// first pass tentatively re-reserves every job's previous GPUs (when they
+// are still intact), preventing other jobs from stealing them mid-round;
+// the second pass walks jobs in placement-priority order, computes the
+// fresh optimal allocation, and migrates only if the fresh pick is
+// strictly better under the policy's quality metric (max PM score for
+// PM-First, LV-product for PAL; lower is better).
+//
+// fresh must return a valid allocation given the cluster's current free
+// state; quality evaluates an allocation for a job.
+// placeOpts toggles the ablation switches of the two-pass loop.
+type placeOpts struct {
+	// noClassPriority keeps the scheduling order instead of sorting the
+	// prefix by class (the "placement priority off" ablation).
+	noClassPriority bool
+	// noHysteresis re-places every job fresh each round (the paper's
+	// plain Non-Sticky semantics, used by the hysteresis ablation).
+	noHysteresis bool
+}
+
+func placeWithHysteresis(
+	c *cluster.Cluster,
+	need []*sim.Job,
+	opts placeOpts,
+	fresh func(*sim.Job) []cluster.GPUID,
+	quality func(*sim.Job, []cluster.GPUID) float64,
+) map[int][]cluster.GPUID {
+	ordered := need
+	if !opts.noClassPriority {
+		ordered = SortByPlacementPriority(need)
+	}
+
+	// Pass 1: tentatively hold every job's previous allocation.
+	kept := make(map[int][]cluster.GPUID)
+	if !opts.noHysteresis {
+		for _, j := range ordered {
+			if prev := reusablePrev(c, j); prev != nil {
+				c.Allocate(j.Spec.ID, prev)
+				kept[j.Spec.ID] = prev
+			}
+		}
+	}
+
+	// Pass 2: fresh-vs-previous decision per job, in priority order.
+	out := make(map[int][]cluster.GPUID, len(need))
+	reserved := make([]cluster.GPUID, 0, 16)
+	for _, j := range ordered {
+		prev := kept[j.Spec.ID]
+		if prev != nil {
+			c.Release(prev) // expose the job's own GPUs to its fresh pick
+		}
+		alloc := fresh(j)
+		if prev != nil && quality(j, prev) <= quality(j, alloc) {
+			alloc = prev
+		}
+		c.Allocate(j.Spec.ID, alloc)
+		reserved = append(reserved, alloc...)
+		out[j.Spec.ID] = alloc
+	}
+	c.Release(reserved) // hand ownership back to the engine
+	return out
+}
+
+// reusablePrev returns the job's previous allocation if it is intact and
+// entirely free, else nil.
+func reusablePrev(c *cluster.Cluster, j *sim.Job) []cluster.GPUID {
+	prev := j.PrevAlloc
+	if len(prev) != j.Spec.Demand {
+		return nil
+	}
+	for _, g := range prev {
+		if !c.IsFree(g) {
+			return nil
+		}
+	}
+	return prev
+}
+
+// maxScore returns the worst PM score in the allocation for the class.
+func maxScore(s vprof.Scorer, class vprof.Class, gpus []cluster.GPUID) float64 {
+	m := 0.0
+	for _, g := range gpus {
+		if v := s.Score(class, int(g)); v > m {
+			m = v
+		}
+	}
+	return m
+}

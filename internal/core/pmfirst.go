@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/vprof"
+)
+
+// PMFirst is the paper's first placement policy (§III-B, Algorithm 1):
+// PM-induced variability gets first-order precedence. Within the
+// schedulable prefix handed over by the scheduling policy, jobs are
+// re-ordered by class (placement priority: class A first) and each job
+// greedily receives the free GPUs with the lowest PM scores for its
+// class. PM-First is Non-Sticky so jobs can migrate to better GPUs every
+// round.
+type PMFirst struct {
+	scorer vprof.Scorer
+	cache  orderCache // precomputed score orders, rebuilt if scores drift
+	order  *scoreOrder
+
+	// NoClassPriority disables the class-based reordering of the
+	// schedulable prefix (ablation: placement priority off). Set before
+	// the first PlaceRound.
+	NoClassPriority bool
+	// NoHysteresis disables previous-allocation reuse, re-placing every
+	// job fresh each round (ablation: plain non-sticky).
+	NoHysteresis bool
+}
+
+// NewPMFirst builds a PM-First placer over the given PM-score view
+// (typically a *vprof.Binned; the ablation bench passes the raw
+// *vprof.Profile to measure the effect of binning).
+func NewPMFirst(scorer vprof.Scorer) *PMFirst {
+	return &PMFirst{scorer: scorer}
+}
+
+// Name implements sim.Placer.
+func (p *PMFirst) Name() string { return "pm-first" }
+
+// Sticky implements sim.Placer: PM-First is non-sticky (§IV-A1).
+func (p *PMFirst) Sticky() bool { return false }
+
+// ensureOrder refreshes the precomputed score orders (rebuilding when a
+// dynamic scorer's version moves).
+func (p *PMFirst) ensureOrder(c *cluster.Cluster) {
+	p.order = p.cache.get(p.scorer, p.scorer.NumClasses(), c.Size(), c.GPUsPerNode())
+}
+
+// PlaceRound implements sim.Placer.
+func (p *PMFirst) PlaceRound(c *cluster.Cluster, need []*sim.Job, _ float64) map[int][]cluster.GPUID {
+	p.ensureOrder(c)
+	opts := placeOpts{noClassPriority: p.NoClassPriority, noHysteresis: p.NoHysteresis}
+	return placeWithHysteresis(c, need, opts,
+		func(j *sim.Job) []cluster.GPUID {
+			alloc := p.order.takeBest(c, j.Spec.Class, j.Spec.Demand)
+			if alloc == nil {
+				panic(fmt.Sprintf("core: PM-First cannot place job %d (demand %d, free %d)",
+					j.Spec.ID, j.Spec.Demand, c.NumFree()))
+			}
+			return alloc
+		},
+		func(j *sim.Job, gpus []cluster.GPUID) float64 {
+			return maxScore(p.scorer, j.Spec.Class, gpus)
+		})
+}
+
+// SortByPlacementPriority stably sorts jobs by class (class A = 0 first).
+// The input order is the scheduling order, so within a class the
+// scheduling policy's priorities are preserved; across classes the
+// placement priority of §III-B applies. The caller already truncated the
+// queue at cluster size, so every job here is guaranteed to be scheduled
+// this round — reordering cannot starve anyone.
+func SortByPlacementPriority(need []*sim.Job) []*sim.Job {
+	out := append([]*sim.Job(nil), need...)
+	sort.SliceStable(out, func(a, b int) bool {
+		return out[a].Spec.Class < out[b].Spec.Class
+	})
+	return out
+}
+
+var _ sim.Placer = (*PMFirst)(nil)

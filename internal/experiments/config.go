@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vprof"
+)
+
+// Policy identifies one of the six placement configurations of §IV-A1.
+type Policy int
+
+// The placement policies compared throughout the evaluation.
+const (
+	RandomSticky Policy = iota
+	RandomNonSticky
+	Gandiva  // Packed-Non-Sticky
+	Tiresias // Packed-Sticky (the best-performing baseline)
+	PMFirst
+	PALPolicy
+	numPolicies
+)
+
+// AllPolicies lists the policies in the order the paper's figures use.
+func AllPolicies() []Policy {
+	return []Policy{RandomSticky, RandomNonSticky, Gandiva, Tiresias, PMFirst, PALPolicy}
+}
+
+// String returns the figure-legend name of the policy.
+func (p Policy) String() string {
+	switch p {
+	case RandomSticky:
+		return "Random-Sticky"
+	case RandomNonSticky:
+		return "Random-Non-Sticky"
+	case Gandiva:
+		return "Gandiva"
+	case Tiresias:
+		return "Tiresias"
+	case PMFirst:
+		return "PM-First"
+	case PALPolicy:
+		return "PAL"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// binCache memoizes the K-Means binning per profile: silhouette K
+// selection is O(n²) per class and every policy run over the same profile
+// would otherwise repeat it.
+var binCache sync.Map // *vprof.Profile -> *vprof.Binned
+
+// binned returns the (cached) binned view of a profile.
+func binned(p *vprof.Profile) *vprof.Binned {
+	if v, ok := binCache.Load(p); ok {
+		return v.(*vprof.Binned)
+	}
+	b := vprof.BinProfile(p)
+	binCache.Store(p, b)
+	return b
+}
+
+// RunSpec assembles one simulation of the evaluation.
+type RunSpec struct {
+	Trace  *trace.Trace
+	Topo   cluster.Topology
+	Sched  sim.Scheduler
+	Policy Policy
+
+	// Profile is the variability the jobs actually experience.
+	Profile *vprof.Profile
+	// ProfiledView is what PM-First/PAL consult; nil means Profile
+	// (fresh, accurate profiling). The testbed experiment passes a stale
+	// view here.
+	ProfiledView *vprof.Profile
+
+	// Lacross is the constant inter-node penalty; ModelLacross overrides
+	// it per model when non-nil.
+	Lacross      float64
+	ModelLacross map[string]float64
+
+	// Seed feeds the Random placers.
+	Seed uint64
+
+	MeasureFirst, MeasureLast int
+	RecordUtil                bool
+	RecordEvents              bool
+	RoundSec                  float64
+
+	// MigrationPenaltySec overrides the default checkpoint/restore cost
+	// charged when a running job's allocation changes; negative disables
+	// it. Zero selects DefaultMigrationPenaltySec.
+	MigrationPenaltySec float64
+}
+
+// DefaultMigrationPenaltySec is the checkpoint/restore cost charged per
+// migration (§IV-A1: small relative to job runtimes — 10 s against
+// multi-hour jobs, ~3% of a round worst case — but enough that gratuitous non-sticky reshuffling is
+// not free).
+const DefaultMigrationPenaltySec = 10
+
+// buildPlacer constructs the placement policy of the spec.
+func buildPlacer(spec RunSpec) sim.Placer {
+	view := spec.ProfiledView
+	if view == nil {
+		view = spec.Profile
+	}
+	switch spec.Policy {
+	case RandomSticky:
+		return place.NewRandom(true, spec.Seed^0xDEC0)
+	case RandomNonSticky:
+		return place.NewRandom(false, spec.Seed^0xDEC1)
+	case Gandiva:
+		return place.NewPacked(false, spec.Seed^0xDEC2)
+	case Tiresias:
+		return place.NewPacked(true, spec.Seed^0xDEC3)
+	case PMFirst:
+		return core.NewPMFirst(binned(view))
+	case PALPolicy:
+		return core.NewPAL(binned(view), spec.Lacross, spec.ModelLacross)
+	}
+	panic(fmt.Sprintf("experiments: unknown policy %d", int(spec.Policy)))
+}
+
+// Run executes one simulation.
+func Run(spec RunSpec) (*sim.Result, error) {
+	migration := spec.MigrationPenaltySec
+	switch {
+	case migration == 0:
+		migration = DefaultMigrationPenaltySec
+	case migration < 0:
+		migration = 0
+	}
+	cfg := sim.Config{
+		Topology:            spec.Topo,
+		Trace:               spec.Trace,
+		Sched:               spec.Sched,
+		Placer:              buildPlacer(spec),
+		TrueProfile:         spec.Profile,
+		Lacross:             spec.Lacross,
+		ModelLacross:        spec.ModelLacross,
+		MeasureFirst:        spec.MeasureFirst,
+		MeasureLast:         spec.MeasureLast,
+		RecordUtilization:   spec.RecordUtil,
+		RecordEvents:        spec.RecordEvents,
+		RoundSec:            spec.RoundSec,
+		MigrationPenaltySec: migration,
+	}
+	return sim.Run(cfg)
+}
+
+// Scale controls experiment sizes so unit tests can exercise the full
+// pipeline quickly while benches and the CLI run the paper-sized
+// configuration.
+type Scale struct {
+	// SiaTraces lists the Sia-Philly workload indices to run (paper: 1-8).
+	SiaTraces []int
+	// SynergyNumJobs is the Synergy trace length (paper: enough to
+	// measure jobs 2000-3000; we use 3200).
+	SynergyNumJobs int
+	// SynergyMeasureFirst/Last bound the steady-state window.
+	SynergyMeasureFirst, SynergyMeasureLast int
+	// SynergyLoads is the Fig. 14 job-load sweep (jobs/hour).
+	SynergyLoads []float64
+	// SchedLoads is the Figs. 16-17 load sweep.
+	SchedLoads []float64
+	// SiaPenalties is the Fig. 13 locality-penalty sweep.
+	SiaPenalties []float64
+	// SynergyPenalties is the Fig. 20 sweep.
+	SynergyPenalties []float64
+}
+
+// FullScale is the paper-sized configuration.
+func FullScale() Scale {
+	return Scale{
+		SiaTraces:           []int{1, 2, 3, 4, 5, 6, 7, 8},
+		SynergyNumJobs:      3200,
+		SynergyMeasureFirst: 2000,
+		SynergyMeasureLast:  3000,
+		SynergyLoads:        []float64{4, 6, 8, 10, 12, 14, 16, 18, 20},
+		SchedLoads:          []float64{8, 10, 12, 14},
+		SiaPenalties:        []float64{1.0, 1.5, 2.0, 2.5, 3.0},
+		SynergyPenalties:    []float64{1.1, 1.2, 1.3, 1.4, 1.5, 1.6, 1.7},
+	}
+}
+
+// QuickScale is a reduced configuration for unit/integration tests: same
+// code paths, minutes-to-milliseconds smaller.
+func QuickScale() Scale {
+	return Scale{
+		SiaTraces:           []int{1, 3, 5},
+		SynergyNumJobs:      500,
+		SynergyMeasureFirst: 200,
+		SynergyMeasureLast:  400,
+		SynergyLoads:        []float64{8, 12},
+		SchedLoads:          []float64{8, 12},
+		SiaPenalties:        []float64{1.0, 2.0, 3.0},
+		SynergyPenalties:    []float64{1.1, 1.7},
+	}
+}
+
+// Shared cluster / profile constants (Table I).
+const (
+	// SiaClusterNodes × GPUsPerNode = the 64-GPU Sia/testbed cluster.
+	SiaClusterNodes = 16
+	// SynergyClusterNodes × GPUsPerNode = the 256-GPU Synergy cluster.
+	SynergyClusterNodes = 64
+	// GPUsPerNode matches Frontera/Longhorn (4 GPUs per node).
+	GPUsPerNode = 4
+	// SynergyLacross is the constant penalty of the Synergy experiments
+	// (the paper's initial Frontera estimate, §IV-D).
+	SynergyLacross = 1.7
+	// ProfileSeed seeds profile generation; ExperimentSeed seeds
+	// everything else.
+	ProfileSeed    = 0x9A1
+	ExperimentSeed = 0xE4B
+)
+
+// SiaTopology returns the 64-GPU topology (16 nodes × 4 GPUs).
+func SiaTopology() cluster.Topology {
+	return cluster.Topology{NumNodes: SiaClusterNodes, GPUsPerNode: GPUsPerNode}
+}
+
+// SynergyTopology returns the 256-GPU topology (64 nodes × 4 GPUs).
+func SynergyTopology() cluster.Topology {
+	return cluster.Topology{NumNodes: SynergyClusterNodes, GPUsPerNode: GPUsPerNode}
+}
+
+// profileCache memoizes the sampled per-cluster-size profiles.
+var profileCache sync.Map // string -> *vprof.Profile
+
+// LonghornProfile returns a Longhorn-style profile for an n-GPU simulated
+// cluster, produced the way §IV-C describes: generate the full cluster's
+// profile, then sample n GPUs without repetition.
+func LonghornProfile(n int) *vprof.Profile {
+	key := fmt.Sprintf("longhorn-%d", n)
+	if v, ok := profileCache.Load(key); ok {
+		return v.(*vprof.Profile)
+	}
+	full := vprof.GenerateLonghorn(416, ProfileSeed) // 8 cabinets × 13 nodes × 4 GPUs
+	perm := rng.New(ProfileSeed).Split(uint64(n)).Perm(full.NumGPUs())
+	p, err := full.Subsample(key, perm, n)
+	if err != nil {
+		panic(err)
+	}
+	profileCache.Store(key, p)
+	return p
+}
+
+// TestbedProfile returns the 64-GPU Frontera testbed profile (Fig. 8).
+func TestbedProfile() *vprof.Profile {
+	key := "testbed-64"
+	if v, ok := profileCache.Load(key); ok {
+		return v.(*vprof.Profile)
+	}
+	p := vprof.GenerateTestbed(ProfileSeed + 7)
+	profileCache.Store(key, p)
+	return p
+}
+
+// SiaTrace returns Sia-Philly workload idx at default parameters.
+func SiaTrace(idx int) *trace.Trace {
+	return trace.SiaPhilly(trace.DefaultSiaPhillyParams(), idx)
+}
+
+// SynergyTrace returns a Synergy trace at the given load with the scale's
+// job count.
+func SynergyTrace(load float64, numJobs int) *trace.Trace {
+	params := trace.DefaultSynergyParams(load)
+	params.NumJobs = numJobs
+	return trace.Synergy(params)
+}
+
+// FIFOSched, LASSched and SRTFSched are the shared scheduler instances.
+var (
+	FIFOSched = sched.FIFO{}
+	LASSched  = sched.LAS{}
+	SRTFSched = sched.SRTF{}
+)

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner is the signature shared by every experiment.
+type Runner func(Scale) (*Table, error)
+
+// registry maps experiment IDs to runners, with a description for -list.
+var registry = map[string]struct {
+	run  Runner
+	desc string
+}{
+	"fig03":    {Fig03, "application classification in DRAMUtil x PeakFUUtil space (Fig. 3)"},
+	"fig05":    {Fig05, "K-Means binning of a 128-GPU Class-A profile (Fig. 5)"},
+	"fig06_08": {Fig06to08, "Frontera/Longhorn/testbed variability profiles (Figs. 6-8)"},
+	"fig09":    {Fig09, "cluster vs simulation JCT CDFs (Fig. 9)"},
+	"fig10":    {Fig10, "cluster vs simulation JCT boxplots (Fig. 10)"},
+	"table04":  {Table04, "physical cluster & simulation avg JCT (Table IV)"},
+	"fig11":    {Fig11, "Sia-Philly avg JCT normalized to Tiresias (Fig. 11)"},
+	"fig12":    {Fig12, "wait time vs job ID for workloads 3 and 5 (Fig. 12)"},
+	"fig13":    {Fig13, "Sia avg JCT vs locality penalty 1.0-3.0 (Fig. 13)"},
+	"fig14":    {Fig14, "Synergy avg JCT vs job load, FIFO (Fig. 14)"},
+	"fig15":    {Fig15, "GPUs in use over time, Tiresias vs PAL (Fig. 15)"},
+	"fig16_17": {Fig16and17, "Synergy avg JCT vs load under LAS and SRTF (Figs. 16-17)"},
+	"fig18":    {Fig18, "PAL placement compute time vs cluster size (Fig. 18)"},
+	"fig19":    {Fig19, "Tiresias vs PAL wait times by scheduler (Fig. 19)"},
+	"fig20":    {Fig20, "Synergy avg JCT vs locality penalty 1.0-1.7 (Fig. 20)"},
+	"headline": {Headline, "abstract's geomean improvements over Tiresias"},
+	// Ablations and extensions beyond the paper's figures (DESIGN.md §2).
+	"ablation_k":          {AblationK, "PM-First sensitivity to the number of PM-score bins"},
+	"ablation_priority":   {AblationPriority, "effect of class placement priority (Fig. 4 mechanism)"},
+	"ablation_hysteresis": {AblationHysteresis, "effect of migration hysteresis on PAL"},
+	"ablation_online":     {AblationOnline, "online PM-score re-profiling vs stale static profile"},
+	"ablation_rack":       {AblationRack, "three-level rack L x V matrix extension"},
+}
+
+// Names returns the registered experiment IDs in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Describe returns the one-line description of an experiment.
+func Describe(name string) string {
+	if e, ok := registry[name]; ok {
+		return e.desc
+	}
+	return ""
+}
+
+// RunByName executes the named experiment at the given scale.
+func RunByName(name string, scale Scale) (*Table, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return e.run(scale)
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// runSynergy executes one Synergy simulation.
+func runSynergy(scale Scale, load float64, pol Policy, schedName string, lacross float64, recordUtil bool) (*sim.Result, error) {
+	var s sim.Scheduler
+	switch schedName {
+	case "fifo":
+		s = FIFOSched
+	case "las":
+		s = LASSched
+	case "srtf":
+		s = SRTFSched
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheduler %q", schedName)
+	}
+	return Run(RunSpec{
+		Trace:        SynergyTrace(load, scale.SynergyNumJobs),
+		Topo:         SynergyTopology(),
+		Sched:        s,
+		Policy:       pol,
+		Profile:      LonghornProfile(SynergyTopology().Size()),
+		Lacross:      lacross,
+		Seed:         ExperimentSeed ^ uint64(load*10) ^ uint64(len(schedName)),
+		MeasureFirst: scale.SynergyMeasureFirst,
+		MeasureLast:  scale.SynergyMeasureLast,
+		RecordUtil:   recordUtil,
+	})
+}
+
+// Fig14 reproduces Figure 14: Synergy average JCT under FIFO as the job
+// load sweeps (paper: 4-20 jobs/hour on the 256-GPU cluster, constant
+// locality penalty 1.7). Also reports the multi-GPU-only JCTs §V-C quotes
+// (PAL improves multi-GPU jobs 5-31% over Tiresias).
+func Fig14(scale Scale) (*Table, error) {
+	t := &Table{
+		Name:   "fig14",
+		Title:  "Synergy avg JCT (hours) vs job load, FIFO, 256 GPUs, L=1.7",
+		Header: []string{"policy"},
+	}
+	for _, load := range scale.SynergyLoads {
+		t.Header = append(t.Header, fmt.Sprintf("%gj/h", load))
+	}
+	avg := make(map[Policy][]float64)
+	multi := make(map[Policy][]float64)
+	for _, load := range scale.SynergyLoads {
+		for _, pol := range AllPolicies() {
+			res, err := runSynergy(scale, load, pol, "fifo", SynergyLacross, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig14 load %g %s: %w", load, pol, err)
+			}
+			avg[pol] = append(avg[pol], stats.Mean(res.JCTs()))
+			multi[pol] = append(multi[pol], stats.Mean(res.MultiGPUJCTs()))
+		}
+	}
+	for _, pol := range AllPolicies() {
+		row := []string{pol.String()}
+		for _, v := range avg[pol] {
+			row = append(row, Hours(v))
+		}
+		t.AddRow(row...)
+	}
+	for i, load := range scale.SynergyLoads {
+		t.Note("load %gj/h: PAL vs Tiresias avg JCT %s, multi-GPU-only %s (paper: 4-9%% overall, 5-31%% multi-GPU)",
+			load,
+			Pct(stats.Improvement(avg[Tiresias][i], avg[PALPolicy][i])),
+			Pct(stats.Improvement(multi[Tiresias][i], multi[PALPolicy][i])))
+	}
+	return t, nil
+}
+
+// Fig15 reproduces Figure 15: GPUs in use over time for Tiresias vs PAL
+// at 8 and 10 jobs/hour. The series is reported as mean GPUs-in-use per
+// decile of the simulated span, showing the under-utilization dip at 8
+// j/h and saturation at 10 j/h, plus PAL "running ahead" of Tiresias.
+func Fig15(scale Scale) (*Table, error) {
+	t := &Table{
+		Name:   "fig15",
+		Title:  "GPUs in use over time (mean per decile of span), FIFO, 256 GPUs",
+		Header: []string{"load", "policy", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "d9", "d10", "drain (h)"},
+	}
+	loads := []float64{8, 10}
+	if len(scale.SynergyLoads) > 0 && scale.SynergyLoads[0] < 8 {
+		// quick scales keep the same two loads; nothing to adjust
+		loads = []float64{8, 10}
+	}
+	for _, load := range loads {
+		for _, pol := range []Policy{Tiresias, PALPolicy} {
+			res, err := runSynergy(scale, load, pol, "fifo", SynergyLacross, true)
+			if err != nil {
+				return nil, fmt.Errorf("fig15 load %g %s: %w", load, pol, err)
+			}
+			row := []string{fmt.Sprintf("%gj/h", load), pol.String()}
+			row = append(row, decileMeans(res.UtilSeries)...)
+			row = append(row, Hours(res.Makespan))
+			t.AddRow(row...)
+		}
+	}
+	t.Note("paper: dip in utilization around mid-trace at 8j/h; saturation from early on at 10j/h; PAL frees resources earlier than Tiresias")
+	return t, nil
+}
+
+// decileMeans averages the in-use series over ten equal time slices.
+func decileMeans(series []sim.UtilSample) []string {
+	out := make([]string, 10)
+	if len(series) == 0 {
+		for i := range out {
+			out[i] = "-"
+		}
+		return out
+	}
+	lo := series[0].Time
+	hi := series[len(series)-1].Time
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	sums := make([]float64, 10)
+	counts := make([]int, 10)
+	for _, s := range series {
+		d := int((s.Time - lo) / span * 10)
+		if d > 9 {
+			d = 9
+		}
+		sums[d] += float64(s.InUse)
+		counts[d]++
+	}
+	for i := range out {
+		if counts[i] == 0 {
+			out[i] = "-"
+			continue
+		}
+		out[i] = fmt.Sprintf("%.0f", sums[i]/float64(counts[i]))
+	}
+	return out
+}
+
+// Fig16and17 reproduces Figures 16 (LAS) and 17 (SRTF): Synergy average
+// JCT vs job load under the two alternative schedulers.
+func Fig16and17(scale Scale) (*Table, error) {
+	t := &Table{
+		Name:   "fig16_17",
+		Title:  "Synergy avg JCT (hours) vs job load under LAS and SRTF schedulers",
+		Header: []string{"sched", "policy"},
+	}
+	for _, load := range scale.SchedLoads {
+		t.Header = append(t.Header, fmt.Sprintf("%gj/h", load))
+	}
+	for _, schedName := range []string{"las", "srtf"} {
+		avg := make(map[Policy][]float64)
+		for _, load := range scale.SchedLoads {
+			for _, pol := range AllPolicies() {
+				res, err := runSynergy(scale, load, pol, schedName, SynergyLacross, false)
+				if err != nil {
+					return nil, fmt.Errorf("fig16/17 %s load %g %s: %w", schedName, load, pol, err)
+				}
+				avg[pol] = append(avg[pol], stats.Mean(res.JCTs()))
+			}
+		}
+		for _, pol := range AllPolicies() {
+			row := []string{schedName, pol.String()}
+			for _, v := range avg[pol] {
+				row = append(row, Hours(v))
+			}
+			t.AddRow(row...)
+		}
+		best := 0.0
+		for i := range scale.SchedLoads {
+			if imp := stats.Improvement(avg[Tiresias][i], avg[PALPolicy][i]); imp > best {
+				best = imp
+			}
+		}
+		t.Note("%s: max PAL improvement over Tiresias %s (paper: up to 15%% LAS, up to 10%% SRTF)", schedName, Pct(best))
+	}
+	return t, nil
+}
+
+// Fig19 reproduces Figure 19: Tiresias vs PAL wait-time patterns under
+// LAS, SRTF and FIFO at 8 jobs/hour.
+func Fig19(scale Scale) (*Table, error) {
+	t := &Table{
+		Name:   "fig19",
+		Title:  "Tiresias vs PAL wait times by scheduler, Synergy 8 jobs/hour",
+		Header: []string{"sched", "policy", "mean wait (h)", "p99 wait (h)", "max wait (h)"},
+	}
+	load := 8.0
+	for _, schedName := range []string{"las", "srtf", "fifo"} {
+		for _, pol := range []Policy{Tiresias, PALPolicy} {
+			res, err := runSynergy(scale, load, pol, schedName, SynergyLacross, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig19 %s %s: %w", schedName, pol, err)
+			}
+			w := res.Waits()
+			t.AddRow(schedName, pol.String(),
+				Hours(stats.Mean(w)), Hours(stats.Percentile(w, 99)), Hours(stats.Max(w)))
+		}
+	}
+	t.Note("paper: LAS has the largest wait magnitudes, FIFO the smallest; PAL reduces waits for long-queued jobs")
+	return t, nil
+}
+
+// Fig20 reproduces Figure 20: Synergy average JCT at 10 jobs/hour as the
+// constant locality penalty sweeps 1.0-1.7.
+func Fig20(scale Scale) (*Table, error) {
+	t := &Table{
+		Name:   "fig20",
+		Title:  "Synergy avg JCT (hours) vs locality penalty, FIFO, 10 jobs/hour",
+		Header: []string{"policy"},
+	}
+	for _, pen := range scale.SynergyPenalties {
+		t.Header = append(t.Header, fmt.Sprintf("C%.1f", pen))
+	}
+	avg := make(map[Policy][]float64)
+	for _, pen := range scale.SynergyPenalties {
+		for _, pol := range AllPolicies() {
+			res, err := runSynergy(scale, 10, pol, "fifo", pen, false)
+			if err != nil {
+				return nil, fmt.Errorf("fig20 penalty %.1f %s: %w", pen, pol, err)
+			}
+			avg[pol] = append(avg[pol], stats.Mean(res.JCTs()))
+		}
+	}
+	for _, pol := range AllPolicies() {
+		row := []string{pol.String()}
+		for _, v := range avg[pol] {
+			row = append(row, Hours(v))
+		}
+		t.AddRow(row...)
+	}
+	n := len(scale.SynergyPenalties)
+	if n > 0 {
+		t.Note("PAL vs Tiresias: %s at C%.1f -> %s at C%.1f (paper: 12%% -> 7%%)",
+			Pct(stats.Improvement(avg[Tiresias][0], avg[PALPolicy][0])), scale.SynergyPenalties[0],
+			Pct(stats.Improvement(avg[Tiresias][n-1], avg[PALPolicy][n-1])), scale.SynergyPenalties[n-1])
+	}
+	return t, nil
+}

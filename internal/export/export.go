@@ -1,0 +1,144 @@
+// Package export renders experiment artifacts to interchange formats:
+// CSV for plotting, JSON for archival, and Markdown for EXPERIMENTS.md.
+// A reproduction is only useful if its numbers can leave the terminal.
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// TableCSV writes a Table as CSV: header row, then data rows. Notes are
+// emitted as trailing comment-style rows prefixed with "#" in the first
+// column so spreadsheet imports keep them visible but separable.
+func TableCSV(w io.Writer, t *experiments.Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return fmt.Errorf("export: header: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("export: row: %w", err)
+		}
+	}
+	for _, n := range t.Notes {
+		rec := make([]string, len(t.Header))
+		if len(rec) == 0 {
+			rec = []string{""}
+		}
+		rec[0] = "# " + n
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("export: note: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// tableJSON is the JSON shape of a Table.
+type tableJSON struct {
+	Name   string     `json:"name"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// TableJSON writes a Table as indented JSON.
+func TableJSON(w io.Writer, t *experiments.Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tableJSON{
+		Name:   t.Name,
+		Title:  t.Title,
+		Header: t.Header,
+		Rows:   t.Rows,
+		Notes:  t.Notes,
+	})
+}
+
+// TableMarkdown writes a Table as a GitHub-flavored Markdown table with
+// the title as a heading and notes as a bullet list. This is the format
+// EXPERIMENTS.md records results in.
+func TableMarkdown(w io.Writer, t *experiments.Table) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.Name, t.Title)
+	b.WriteString("| " + strings.Join(escapeCells(t.Header), " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(escapeCells(row), " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "- %s\n", n)
+		}
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// escapeCells protects pipe characters inside Markdown cells.
+func escapeCells(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = strings.ReplaceAll(c, "|", "\\|")
+	}
+	return out
+}
+
+// resultJSON is the archival shape of one simulation result.
+type resultJSON struct {
+	Jobs        int     `json:"jobs"`
+	Measured    int     `json:"measured"`
+	AvgJCT      float64 `json:"avg_jct_sec"`
+	P50JCT      float64 `json:"p50_jct_sec"`
+	P99JCT      float64 `json:"p99_jct_sec"`
+	MeanWait    float64 `json:"mean_wait_sec"`
+	Makespan    float64 `json:"makespan_sec"`
+	Utilization float64 `json:"utilization"`
+	Rounds      int     `json:"rounds"`
+}
+
+// ResultJSON writes the aggregate metrics of a simulation result.
+func ResultJSON(w io.Writer, res *sim.Result) error {
+	jcts := res.JCTs()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resultJSON{
+		Jobs:        len(res.Jobs),
+		Measured:    len(res.Measured),
+		AvgJCT:      stats.Mean(jcts),
+		P50JCT:      stats.Percentile(jcts, 50),
+		P99JCT:      stats.Percentile(jcts, 99),
+		MeanWait:    stats.Mean(res.Waits()),
+		Makespan:    res.Makespan,
+		Utilization: res.Utilization,
+		Rounds:      res.Rounds,
+	})
+}
+
+// UtilizationCSV writes the GPUs-in-use series (Fig. 15's raw data).
+func UtilizationCSV(w io.Writer, series []sim.UtilSample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_sec", "gpus_in_use"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if err := cw.Write([]string{
+			fmt.Sprintf("%.0f", s.Time), fmt.Sprintf("%d", s.InUse),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

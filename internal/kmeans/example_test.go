@@ -1,0 +1,46 @@
+package kmeans_test
+
+import (
+	"fmt"
+
+	"repro/internal/kmeans"
+)
+
+// ExampleBin shows the §III-B binning pipeline on a small PM-score
+// sample: a tight near-median population plus one extreme outlier. The
+// outlier is separated (>3σ) and keeps its exact score as a singleton
+// bin; the inliers are clustered with a silhouette-selected K.
+func ExampleBin() {
+	scores := []float64{
+		0.95, 0.96, 0.97, 1.00, 1.00, 1.01, 1.02, 1.03,
+		1.10, 1.11, 1.12, 1.13,
+		3.50, // the straggler GPU
+	}
+	b := kmeans.Bin(scores)
+	for i, s := range b.Scores {
+		count := 0
+		for _, bin := range b.BinOf {
+			if bin == i {
+				count++
+			}
+		}
+		fmt.Printf("bin %d: score %.3f (%d GPUs)\n", i, s, count)
+	}
+	fmt.Printf("outlier keeps its exact score: %.2f\n", b.ScoreOf(12))
+	// Output:
+	// bin 0: score 0.993 (8 GPUs)
+	// bin 1: score 1.115 (4 GPUs)
+	// bin 2: score 3.500 (1 GPUs)
+	// outlier keeps its exact score: 3.50
+}
+
+// ExampleCluster1D clusters scalar data into two sorted bins.
+func ExampleCluster1D() {
+	res := kmeans.Cluster1D([]float64{1.0, 1.1, 0.9, 5.0, 5.1, 4.9}, 2)
+	fmt.Printf("centroids: %.2f and %.2f\n",
+		res.Centroids[0][0], res.Centroids[1][0])
+	fmt.Printf("sizes: %v\n", res.Sizes())
+	// Output:
+	// centroids: 1.00 and 5.00
+	// sizes: [3 3]
+}

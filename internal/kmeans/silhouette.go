@@ -1,0 +1,69 @@
+package kmeans
+
+import "math"
+
+// Silhouette returns the mean silhouette coefficient of a clustering over
+// the given points: for each point, (b - a) / max(a, b) where a is the
+// mean distance to points in its own cluster and b is the smallest mean
+// distance to points of any other cluster. Values close to +1 indicate
+// distinct, well-separated clusters (Rousseeuw 1987, the method the paper
+// cites for selecting K).
+//
+// Points in singleton clusters contribute 0, following the standard
+// convention. Returns 0 if fewer than 2 clusters are populated.
+func Silhouette(points [][]float64, res *Result) float64 {
+	n := len(points)
+	if n == 0 || res.K() < 2 {
+		return 0
+	}
+	sizes := res.Sizes()
+	populated := 0
+	for _, s := range sizes {
+		if s > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		return 0
+	}
+
+	var total float64
+	for i, p := range points {
+		own := res.Assign[i]
+		if sizes[own] <= 1 {
+			continue // silhouette of a singleton is defined as 0
+		}
+		// Mean distance to each cluster.
+		sum := make([]float64, res.K())
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			sum[res.Assign[j]] += math.Sqrt(dist2(p, q))
+		}
+		a := sum[own] / float64(sizes[own]-1)
+		b := math.Inf(1)
+		for c := range sum {
+			if c == own || sizes[c] == 0 {
+				continue
+			}
+			if m := sum[c] / float64(sizes[c]); m < b {
+				b = m
+			}
+		}
+		denom := math.Max(a, b)
+		if denom > 0 {
+			total += (b - a) / denom
+		}
+	}
+	return total / float64(n)
+}
+
+// Silhouette1D is Silhouette for scalar data.
+func Silhouette1D(values []float64, res *Result) float64 {
+	points := make([][]float64, len(values))
+	for i, v := range values {
+		points[i] = []float64{v}
+	}
+	return Silhouette(points, res)
+}

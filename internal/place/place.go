@@ -1,0 +1,196 @@
+// Package place implements the baseline placement policies the paper
+// compares against (§IV-A1):
+//
+//   - Packed ("soft-consolidated"): minimize the number of nodes a job
+//     spans to reduce inter-node communication. Packed-Sticky is what
+//     Tiresias deploys, Packed-Non-Sticky is what Gandiva deploys, so the
+//     experiment tables label those configurations "Tiresias" and
+//     "Gandiva".
+//   - Random ("scattered"): sample a uniform random subset of the free
+//     GPUs (used by e.g. Amaral et al. and HotGauge to spread thermal
+//     load), in Sticky and Non-Sticky flavors.
+//
+// All baselines are variability-agnostic: they assume iso-architecture
+// GPUs deliver identical performance. Which concrete GPU a packed policy
+// hands out among equally-packed choices is therefore arbitrary in a real
+// system; we model that arbitrariness with a seeded RNG (ties between
+// equally-full nodes and GPU picks within a node are randomized). That is
+// what makes Gandiva's non-sticky re-placement re-roll GPU quality every
+// round — the effect §V-B measures when comparing Sticky vs Non-Sticky.
+package place
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Packed is the soft-consolidation placement policy. For each job it
+// prefers the tightest single node that fits (best fit); jobs larger than
+// any node's free capacity take the fullest-free nodes first, minimizing
+// the number of nodes spanned.
+type Packed struct {
+	sticky bool
+	rng    *rng.RNG
+}
+
+// NewPacked returns a Packed placer with the given stickiness.
+// NewPacked(true, seed) is the paper's "Tiresias" configuration,
+// NewPacked(false, seed) its "Gandiva" configuration.
+func NewPacked(sticky bool, seed uint64) *Packed {
+	return &Packed{sticky: sticky, rng: rng.New(seed)}
+}
+
+// Name implements sim.Placer.
+func (p *Packed) Name() string {
+	if p.sticky {
+		return "tiresias(packed-sticky)"
+	}
+	return "gandiva(packed-non-sticky)"
+}
+
+// Sticky implements sim.Placer.
+func (p *Packed) Sticky() bool { return p.sticky }
+
+// PlaceRound implements sim.Placer.
+func (p *Packed) PlaceRound(c *cluster.Cluster, need []*sim.Job, _ float64) map[int][]cluster.GPUID {
+	out := make(map[int][]cluster.GPUID, len(need))
+	for _, j := range need {
+		alloc := PackJob(c, j.Spec.Demand, p.rng)
+		c.Allocate(j.Spec.ID, alloc)
+		out[j.Spec.ID] = alloc
+	}
+	// The engine performs the real allocation from the returned map;
+	// release our in-flight reservations so it sees the GPUs as free.
+	for _, alloc := range out {
+		c.Release(alloc)
+	}
+	return out
+}
+
+// PackJob computes a packed allocation of demand GPUs from the cluster's
+// current free state. r breaks ties between equally-attractive nodes and
+// picks which free GPUs of the chosen node to use; pass nil for fully
+// deterministic (lowest-ID) behavior.
+func PackJob(c *cluster.Cluster, demand int, r *rng.RNG) []cluster.GPUID {
+	type nodeFree struct {
+		node cluster.NodeID
+		free int
+	}
+	nodes := make([]nodeFree, 0, c.NumNodes())
+	for n := 0; n < c.NumNodes(); n++ {
+		if f := c.FreeOnNode(cluster.NodeID(n)); f > 0 {
+			nodes = append(nodes, nodeFree{node: cluster.NodeID(n), free: f})
+		}
+	}
+
+	if demand <= c.GPUsPerNode() {
+		// Best fit: the smallest sufficient free count; collect all nodes
+		// tied at that count and let the RNG pick one.
+		bestFree := -1
+		var tied []cluster.NodeID
+		for _, nf := range nodes {
+			if nf.free < demand {
+				continue
+			}
+			switch {
+			case bestFree == -1 || nf.free < bestFree:
+				bestFree = nf.free
+				tied = tied[:0]
+				tied = append(tied, nf.node)
+			case nf.free == bestFree:
+				tied = append(tied, nf.node)
+			}
+		}
+		if len(tied) > 0 {
+			pick := tied[0]
+			if r != nil && len(tied) > 1 {
+				pick = tied[r.Intn(len(tied))]
+			}
+			return takeFromNode(c, pick, demand, r)
+		}
+	}
+
+	// Spill across nodes: fullest-free nodes first to minimize the span;
+	// ties between equally-full nodes are randomized.
+	if r != nil {
+		r.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	}
+	sort.SliceStable(nodes, func(a, b int) bool {
+		return nodes[a].free > nodes[b].free
+	})
+	alloc := make([]cluster.GPUID, 0, demand)
+	for _, nf := range nodes {
+		if len(alloc) == demand {
+			break
+		}
+		take := demand - len(alloc)
+		if take > nf.free {
+			take = nf.free
+		}
+		alloc = append(alloc, takeFromNode(c, nf.node, take, r)...)
+	}
+	return alloc
+}
+
+// takeFromNode returns n free GPUs on the node: a random subset when r is
+// non-nil, else the lowest IDs.
+func takeFromNode(c *cluster.Cluster, node cluster.NodeID, n int, r *rng.RNG) []cluster.GPUID {
+	free := make([]cluster.GPUID, 0, c.GPUsPerNode())
+	for _, g := range c.GPUsOnNode(node) {
+		if c.IsFree(g) {
+			free = append(free, g)
+		}
+	}
+	if r != nil {
+		r.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	}
+	if n > len(free) {
+		n = len(free)
+	}
+	return append([]cluster.GPUID(nil), free[:n]...)
+}
+
+// Random is the scattered placement policy: each job receives a uniform
+// random subset of the free GPUs.
+type Random struct {
+	sticky bool
+	rng    *rng.RNG
+}
+
+// NewRandom returns a Random placer seeded deterministically.
+func NewRandom(sticky bool, seed uint64) *Random {
+	return &Random{sticky: sticky, rng: rng.New(seed)}
+}
+
+// Name implements sim.Placer.
+func (r *Random) Name() string {
+	if r.sticky {
+		return "random-sticky"
+	}
+	return "random-non-sticky"
+}
+
+// Sticky implements sim.Placer.
+func (r *Random) Sticky() bool { return r.sticky }
+
+// PlaceRound implements sim.Placer.
+func (r *Random) PlaceRound(c *cluster.Cluster, need []*sim.Job, _ float64) map[int][]cluster.GPUID {
+	out := make(map[int][]cluster.GPUID, len(need))
+	free := c.FreeGPUs()
+	r.rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	idx := 0
+	for _, j := range need {
+		alloc := append([]cluster.GPUID(nil), free[idx:idx+j.Spec.Demand]...)
+		idx += j.Spec.Demand
+		out[j.Spec.ID] = alloc
+	}
+	return out
+}
+
+var (
+	_ sim.Placer = (*Packed)(nil)
+	_ sim.Placer = (*Random)(nil)
+)

@@ -1,0 +1,269 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s1 := r.Split(1)
+	s2 := r.Split(2)
+	s1again := New(7).Split(1)
+	// Same label from same parent state reproduces the stream.
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s1again.Uint64() {
+			t.Fatalf("Split(1) not reproducible at step %d", i)
+		}
+	}
+	// Different labels give different streams.
+	a, b := New(7).Split(1), New(7).Split(2)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("Split(1) and Split(2) start identically")
+	}
+	_ = s2
+}
+
+func TestSplitDoesNotDisturbParent(t *testing.T) {
+	a, b := New(9), New(9)
+	_ = a.Split(5)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent stream")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	check := func(seed uint64) bool {
+		v := New(seed).Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Error(err)
+	}
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBoundsProperty(t *testing.T) {
+	check := func(seed uint64, n int) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		v := New(seed).Intn(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const buckets, n = 10, 100000
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	for b, c := range counts {
+		if c < n/buckets*8/10 || c > n/buckets*12/10 {
+			t.Errorf("bucket %d count %d far from uniform %d", b, c, n/buckets)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(17)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.LogNormal(math.Log(900), 1.2)
+	}
+	// Median of lognormal(mu, sigma) is exp(mu).
+	med := quickMedian(vals)
+	if med < 850 || med > 950 {
+		t.Errorf("lognormal median = %v, want ~900", med)
+	}
+}
+
+func quickMedian(vals []float64) float64 {
+	// Selection via partial sort: fine for tests.
+	cp := append([]float64(nil), vals...)
+	for i := 0; i <= len(cp)/2; i++ {
+		minIdx := i
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] < cp[minIdx] {
+				minIdx = j
+			}
+		}
+		cp[i], cp[minIdx] = cp[minIdx], cp[i]
+	}
+	return cp[len(cp)/2]
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(19)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.0)
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpPanicsOnNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(23)
+	for _, mean := range []float64{0.5, 3, 20, 100} {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > mean*0.05+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonPositiveMean(t *testing.T) {
+	if v := New(1).Poisson(0); v != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", v)
+	}
+	if v := New(1).Poisson(-3); v != 0 {
+		t.Errorf("Poisson(-3) = %d, want 0", v)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	check := func(seed uint64) bool {
+		p := New(seed).Perm(50)
+		seen := make([]bool, 50)
+		for _, v := range p {
+			if v < 0 || v >= 50 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(31)
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 28 {
+		t.Errorf("shuffle changed elements: %v", xs)
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	r := New(37)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Choice(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index chosen %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestChoicePanicsWithoutPositiveWeights(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Choice with all-zero weights did not panic")
+		}
+	}()
+	New(1).Choice([]float64{0, 0})
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r RNG
+	if v := r.Float64(); v < 0 || v >= 1 {
+		t.Errorf("zero-value RNG Float64 = %v", v)
+	}
+}

@@ -1,0 +1,122 @@
+// Package sched implements the job-selection (scheduling) policies the
+// paper attaches its placement policies to (§IV-A2): FIFO, Tiresias-style
+// Least Attained Service with two-level priority queueing, and preemptive
+// Shortest Remaining Time First. Scheduling is orthogonal to placement in
+// the Blox architecture: these policies decide *which* jobs run each
+// round; placement decides *where*.
+package sched
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// FIFO prioritizes jobs in order of arrival. The zero value is ready to
+// use.
+type FIFO struct{}
+
+// Name implements sim.Scheduler.
+func (FIFO) Name() string { return "fifo" }
+
+// Order implements sim.Scheduler: ascending arrival, ties by job ID.
+func (FIFO) Order(jobs []*sim.Job, _ float64) []*sim.Job {
+	out := append([]*sim.Job(nil), jobs...)
+	sort.SliceStable(out, func(a, b int) bool {
+		ja, jb := out[a], out[b]
+		if ja.Spec.Arrival != jb.Spec.Arrival {
+			return ja.Spec.Arrival < jb.Spec.Arrival
+		}
+		return ja.Spec.ID < jb.Spec.ID
+	})
+	return out
+}
+
+// LAS implements Tiresias's discretized Least-Attained-Service scheduler
+// (Gu et al., NSDI'19) with two-level priority queueing: jobs whose
+// attained service (GPU-seconds) is below Threshold sit in the high-
+// priority queue, the rest are demoted to the low-priority queue. Within
+// a queue jobs are ordered by attained service then arrival, so fresh
+// arrivals (zero attained service) preempt long-running jobs — the wait-
+// time pattern §V-C1 analyses.
+type LAS struct {
+	// Threshold is the attained-service boundary between the two queues,
+	// in GPU-seconds. Zero selects DefaultLASThreshold.
+	Threshold float64
+}
+
+// DefaultLASThreshold is the queue-demotion boundary used when LAS's
+// threshold is unset: 8 GPU-hours of attained service, a mid-range value
+// relative to the Synergy duration distribution.
+const DefaultLASThreshold = 8 * 3600
+
+// Name implements sim.Scheduler.
+func (LAS) Name() string { return "las" }
+
+// Order implements sim.Scheduler.
+func (l LAS) Order(jobs []*sim.Job, _ float64) []*sim.Job {
+	threshold := l.Threshold
+	if threshold <= 0 {
+		threshold = DefaultLASThreshold
+	}
+	out := append([]*sim.Job(nil), jobs...)
+	queueOf := func(j *sim.Job) int {
+		if j.Attained < threshold {
+			return 0
+		}
+		return 1
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ja, jb := out[a], out[b]
+		qa, qb := queueOf(ja), queueOf(jb)
+		if qa != qb {
+			return qa < qb
+		}
+		if ja.Attained != jb.Attained {
+			return ja.Attained < jb.Attained
+		}
+		if ja.Spec.Arrival != jb.Spec.Arrival {
+			return ja.Spec.Arrival < jb.Spec.Arrival
+		}
+		return ja.Spec.ID < jb.Spec.ID
+	})
+	return out
+}
+
+// SRTF performs preemptive shortest-remaining-time-first scheduling: jobs
+// are ordered by remaining ideal work (the simulator's ground truth,
+// matching the paper's assumption that SRTF knows job lengths).
+type SRTF struct{}
+
+// Name implements sim.Scheduler.
+func (SRTF) Name() string { return "srtf" }
+
+// Order implements sim.Scheduler.
+func (SRTF) Order(jobs []*sim.Job, _ float64) []*sim.Job {
+	out := append([]*sim.Job(nil), jobs...)
+	sort.SliceStable(out, func(a, b int) bool {
+		ja, jb := out[a], out[b]
+		if ja.Remaining != jb.Remaining {
+			return ja.Remaining < jb.Remaining
+		}
+		if ja.Spec.Arrival != jb.Spec.Arrival {
+			return ja.Spec.Arrival < jb.Spec.Arrival
+		}
+		return ja.Spec.ID < jb.Spec.ID
+	})
+	return out
+}
+
+// ByName returns the scheduler with the given name ("fifo", "las",
+// "srtf"), or nil if unknown. Used by the CLIs.
+func ByName(name string) sim.Scheduler {
+	switch name {
+	case "fifo":
+		return FIFO{}
+	case "las":
+		return LAS{}
+	case "srtf":
+		return SRTF{}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package sim
+
+import "fmt"
+
+// EventKind enumerates the scheduling lifecycle events the engine can
+// record for post-hoc analysis (queue forensics like the workload-5
+// blocking story of §V-B, or debugging a policy's churn).
+type EventKind int
+
+// The recorded event kinds.
+const (
+	// EventAdmit: the job passed admission control into the queue.
+	EventAdmit EventKind = iota
+	// EventReject: admission control refused the job (e.g. demand larger
+	// than the cluster).
+	EventReject
+	// EventStart: the job received GPUs for the first time.
+	EventStart
+	// EventPreempt: a running job was descheduled by priority.
+	EventPreempt
+	// EventResume: a previously-preempted job received GPUs again.
+	EventResume
+	// EventMigrate: a running job's allocation changed between rounds.
+	EventMigrate
+	// EventFinish: the job completed.
+	EventFinish
+)
+
+// String returns the event kind's name.
+func (k EventKind) String() string {
+	switch k {
+	case EventAdmit:
+		return "admit"
+	case EventReject:
+		return "reject"
+	case EventStart:
+		return "start"
+	case EventPreempt:
+		return "preempt"
+	case EventResume:
+		return "resume"
+	case EventMigrate:
+		return "migrate"
+	case EventFinish:
+		return "finish"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one entry of the engine's event log.
+type Event struct {
+	Time  float64
+	JobID int
+	Kind  EventKind
+	// GPUs is the allocation size involved (0 for admit/reject).
+	GPUs int
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	return fmt.Sprintf("t=%.0fs job=%d %s gpus=%d", e.Time, e.JobID, e.Kind, e.GPUs)
+}
+
+// recordEvent appends to the log when event recording is enabled.
+func (e *engine) recordEvent(now float64, jobID int, kind EventKind, gpus int) {
+	if !e.cfg.RecordEvents {
+		return
+	}
+	e.events = append(e.events, Event{Time: now, JobID: jobID, Kind: kind, GPUs: gpus})
+}
+
+// EventsFor filters a result's event log to one job.
+func (r *Result) EventsFor(jobID int) []Event {
+	var out []Event
+	for _, ev := range r.Events {
+		if ev.JobID == jobID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// CountEvents tallies the log by kind.
+func (r *Result) CountEvents() map[EventKind]int {
+	out := make(map[EventKind]int)
+	for _, ev := range r.Events {
+		out[ev.Kind]++
+	}
+	return out
+}

@@ -1,0 +1,674 @@
+// Package sim implements the round-based cluster-scheduling engine the
+// policies are evaluated in. It mirrors the modular architecture of Blox
+// (§II-B, Fig. 1): an admission-control step feeds a job queue; a
+// scheduling policy orders the active jobs each round; the engine marks
+// the queue at cluster size; and a placement policy maps the schedulable
+// prefix to concrete GPUs. Jobs progress under the combined
+// locality × variability slowdown of Equation 1.
+//
+// The engine is deterministic for a given configuration: wall-clock time
+// is only sampled to report placement-policy overhead (Fig. 18) and never
+// feeds back into scheduling decisions.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+	"repro/internal/vprof"
+)
+
+// Job is the engine's mutable view of one trace job.
+type Job struct {
+	Spec trace.JobSpec
+
+	// Remaining ideal work in seconds (starts at Spec.Work).
+	Remaining float64
+	// Alloc is the job's current GPU allocation, nil when not running.
+	Alloc []cluster.GPUID
+	// Attained is the accumulated service in GPU-seconds (wall seconds
+	// running × demand), the quantity Tiresias's LAS discretizes.
+	Attained float64
+	// Started reports whether the job has ever run.
+	Started bool
+	// FirstRun is the time the job first received GPUs.
+	FirstRun float64
+	// Finish is the completion time (valid once Done).
+	Finish float64
+	// Done reports whether the job has completed.
+	Done bool
+	// Preemptions counts times the job was descheduled while incomplete.
+	Preemptions int
+	// Migrations counts rounds in which a running job's allocation
+	// changed (non-sticky placement reshuffles).
+	Migrations int
+
+	// PrevAlloc is the allocation the job held before the current
+	// placement call (nil if it was not running). Placement policies may
+	// use it for hysteresis: PM-First and PAL re-use it unless a strictly
+	// better allocation exists, avoiding gratuitous migrations.
+	PrevAlloc []cluster.GPUID
+
+	// migrated marks that the allocation changed this round, charging
+	// the migration penalty during advance.
+	migrated bool
+}
+
+// JCT returns the job's completion time minus its arrival (valid once Done).
+func (j *Job) JCT() float64 { return j.Finish - j.Spec.Arrival }
+
+// Wait returns the job's total queueing delay (valid once Done):
+// completion minus arrival minus the wall-clock time actually spent
+// running. Under preemptive schedulers this includes time suspended
+// after demotion — the quantity the paper's wait-time plots report
+// (Figs. 12 and 19): LAS shows large waits exactly because demoted jobs
+// requeue long after they first ran.
+func (j *Job) Wait() float64 {
+	if j.Spec.Demand <= 0 {
+		return 0
+	}
+	w := j.JCT() - j.Attained/float64(j.Spec.Demand)
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// FirstRunDelay returns the time from arrival to first receiving GPUs.
+func (j *Job) FirstRunDelay() float64 { return j.FirstRun - j.Spec.Arrival }
+
+// Scheduler orders active jobs each round by scheduling priority (job
+// selection). Implementations must return a permutation of jobs; the
+// engine schedules the longest prefix that fits the cluster.
+type Scheduler interface {
+	Name() string
+	Order(jobs []*Job, now float64) []*Job
+}
+
+// Placer maps the schedulable prefix of jobs to GPUs (resource
+// allocation). PlaceRound is called once per round with the jobs that
+// need a (new) allocation, in scheduling-priority order; the cluster's
+// free state already excludes GPUs retained by sticky jobs. The returned
+// map must assign each job exactly Spec.Demand free GPUs.
+//
+// Sticky reports the placement flavor (§IV-A1): sticky placers keep a
+// running job's allocation until it completes or is preempted; non-sticky
+// placers re-place every running job every round.
+type Placer interface {
+	Name() string
+	Sticky() bool
+	PlaceRound(c *cluster.Cluster, need []*Job, now float64) map[int][]cluster.GPUID
+}
+
+// Admission decides whether an arriving job enters the queue. The paper's
+// experiments admit everything that can ever fit; admission control is
+// part of the Blox architecture, so the hook exists.
+type Admission interface {
+	Name() string
+	Admit(job *Job, c *cluster.Cluster) bool
+}
+
+// AdmitAll admits every job. The zero value is ready to use.
+type AdmitAll struct{}
+
+// Name implements Admission.
+func (AdmitAll) Name() string { return "admit-all" }
+
+// Admit implements Admission.
+func (AdmitAll) Admit(*Job, *cluster.Cluster) bool { return true }
+
+// AdmitFits rejects jobs whose demand exceeds the cluster size (they
+// could never be scheduled and would wedge a strict FIFO prefix).
+type AdmitFits struct{}
+
+// Name implements Admission.
+func (AdmitFits) Name() string { return "admit-fits" }
+
+// Admit implements Admission.
+func (AdmitFits) Admit(j *Job, c *cluster.Cluster) bool {
+	return j.Spec.Demand <= c.Size()
+}
+
+// Config assembles one simulation.
+type Config struct {
+	Topology cluster.Topology
+	Trace    *trace.Trace
+	Sched    Scheduler
+	Placer   Placer
+	// Admit defaults to AdmitFits when nil.
+	Admit Admission
+
+	// TrueProfile provides the PM scores jobs actually experience
+	// (Equation 1). The placement policy may consult a different
+	// (profiled, possibly stale) view — that coupling happens at placer
+	// construction, not here.
+	TrueProfile *vprof.Profile
+
+	// Lacross is the inter-node locality penalty (L_within is 1.0).
+	Lacross float64
+	// ModelLacross optionally overrides Lacross per model name, matching
+	// the per-model penalties of §IV-D. Missing models fall back to
+	// Lacross.
+	ModelLacross map[string]float64
+	// Lrack is an optional third locality level (extension beyond the
+	// paper's two-level model): the penalty for spanning nodes within one
+	// rack, with Lacross charged only when the allocation spans racks.
+	// Zero disables the rack level (two-level model). Requires
+	// Topology.NodesPerRack > 0 to have any effect.
+	Lrack float64
+
+	// RoundSec is the scheduling-round length (the paper uses 300 s).
+	// Defaults to 300 when zero.
+	RoundSec float64
+
+	// MaxRounds caps the simulation as a runaway guard. Defaults to
+	// 1_000_000 rounds when zero.
+	MaxRounds int
+
+	// MeasureFirst/MeasureLast restrict per-job metrics to a job-ID
+	// window (Synergy steady state uses 2000-3000). Zero values mean the
+	// whole trace.
+	MeasureFirst, MeasureLast int
+
+	// RecordUtilization enables the per-round GPUs-in-use series
+	// (Fig. 15); it is off by default to keep long sweeps lean.
+	RecordUtilization bool
+
+	// MigrationPenaltySec is the checkpoint/restore cost a running job
+	// pays in a round where its allocation changed (§IV-A1 notes these
+	// overheads exist but are small relative to job runtime). A migrated
+	// job makes progress for RoundSec - MigrationPenaltySec of the round.
+	MigrationPenaltySec float64
+
+	// RecordEvents enables the engine's event log (admit / start /
+	// preempt / resume / migrate / finish per job), exposed as
+	// Result.Events.
+	RecordEvents bool
+
+	// Observer, when non-nil, receives each running job's realized
+	// slowdown every round. This is the hook for the online PM-score
+	// re-profiling extension (§V-A closes by calling for "dynamic online
+	// updates to GPU PM-Scores"): an observing scorer can learn that a
+	// GPU is slower than its static profile claims.
+	Observer Observer
+}
+
+// Observer receives per-round execution feedback. ObserveRound is called
+// once per running job per round with the job's allocation still
+// attached and each GPU's normalized per-rank step time — the rank's
+// compute time divided by the job's ideal iteration time, i.e. the GPU's
+// realized PM score for the job's class. Per-rank step times are directly
+// observable in bulk-synchronous training (every rank logs its compute
+// time before the gradient exchange), which is what makes online
+// re-profiling deployable. perGPU[i] corresponds to j.Alloc[i] and
+// excludes the locality penalty.
+type Observer interface {
+	ObserveRound(j *Job, perGPU []float64, now float64)
+}
+
+// withDefaults returns a copy of cfg with zero fields defaulted.
+func (cfg Config) withDefaults() Config {
+	if cfg.RoundSec <= 0 {
+		cfg.RoundSec = 300
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 1_000_000
+	}
+	if cfg.Admit == nil {
+		cfg.Admit = AdmitFits{}
+	}
+	if cfg.Lacross <= 0 {
+		cfg.Lacross = 1.0
+	}
+	return cfg
+}
+
+// UtilSample is one point of the GPUs-in-use series.
+type UtilSample struct {
+	Time  float64 // round start time (seconds)
+	InUse int     // GPUs allocated during the round
+}
+
+// Result carries everything the experiment harness needs from one run.
+type Result struct {
+	Jobs []*Job // all jobs, trace order
+
+	// Measured is the subset of Jobs inside the measurement window that
+	// completed; aggregate metrics are computed over it.
+	Measured []*Job
+
+	Makespan    float64 // last finish - first arrival (whole trace)
+	Utilization float64 // allocated GPU-seconds / (cluster size × active span)
+	// ProductiveUtilization divides *ideal* GPU-seconds (demand × work)
+	// by capacity × span: the fraction of cluster capacity that performed
+	// useful work. The gap between Utilization and ProductiveUtilization
+	// is exactly the capacity lost to variability and locality slowdowns
+	// — gang-synchronous jobs hold all their GPUs at the pace of the
+	// slowest one (§II-A).
+	ProductiveUtilization float64
+	Rounds                int
+
+	// UtilSeries is populated when Config.RecordUtilization is set.
+	UtilSeries []UtilSample
+
+	// PlaceTimes holds the wall-clock duration of each round's placement
+	// call in seconds (only rounds that placed at least one job).
+	PlaceTimes []float64
+
+	// Events is the lifecycle log (populated when Config.RecordEvents).
+	Events []Event
+}
+
+// JCTs returns the measured jobs' completion times.
+func (r *Result) JCTs() []float64 {
+	out := make([]float64, len(r.Measured))
+	for i, j := range r.Measured {
+		out[i] = j.JCT()
+	}
+	return out
+}
+
+// Waits returns the measured jobs' queueing delays.
+func (r *Result) Waits() []float64 {
+	out := make([]float64, len(r.Measured))
+	for i, j := range r.Measured {
+		out[i] = j.Wait()
+	}
+	return out
+}
+
+// MultiGPUJCTs returns JCTs of measured jobs with demand > 1 (the subset
+// §V-C reports separately).
+func (r *Result) MultiGPUJCTs() []float64 {
+	var out []float64
+	for _, j := range r.Measured {
+		if j.Spec.Demand > 1 {
+			out = append(out, j.JCT())
+		}
+	}
+	return out
+}
+
+// Run executes the simulation to completion and returns its Result. It
+// returns an error if the configuration is invalid or MaxRounds is hit.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Trace == nil || len(cfg.Trace.Jobs) == 0 {
+		return nil, fmt.Errorf("sim: empty trace")
+	}
+	if cfg.Sched == nil || cfg.Placer == nil {
+		return nil, fmt.Errorf("sim: scheduler and placer are required")
+	}
+	if cfg.TrueProfile == nil {
+		return nil, fmt.Errorf("sim: TrueProfile is required")
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TrueProfile.NumGPUs() < cfg.Topology.Size() {
+		return nil, fmt.Errorf("sim: profile covers %d GPUs, cluster has %d",
+			cfg.TrueProfile.NumGPUs(), cfg.Topology.Size())
+	}
+
+	c := cluster.New(cfg.Topology)
+	jobs := make([]*Job, len(cfg.Trace.Jobs))
+	for i, spec := range cfg.Trace.Jobs {
+		jobs[i] = &Job{Spec: spec, Remaining: spec.Work}
+	}
+
+	eng := &engine{cfg: cfg, cluster: c, jobs: jobs}
+	return eng.run()
+}
+
+// engine holds the per-run mutable state.
+type engine struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	jobs    []*Job
+
+	nextArrival int    // index of the next not-yet-arrived trace job
+	active      []*Job // arrived, admitted, not finished
+	rejected    int
+
+	busyGPUSeconds float64
+	utilSeries     []UtilSample
+	placeTimes     []float64
+	events         []Event
+}
+
+func (e *engine) run() (*Result, error) {
+	cfg := e.cfg
+	now := 0.0
+	if len(e.jobs) > 0 {
+		// Start the clock at the first arrival so empty leading time does
+		// not distort utilization.
+		now = e.jobs[0].Spec.Arrival
+	}
+	start := now
+	rounds := 0
+	remaining := len(e.jobs)
+
+	for remaining > 0 {
+		if rounds >= cfg.MaxRounds {
+			return nil, fmt.Errorf("sim: exceeded MaxRounds=%d (rounds=%d, remaining=%d)",
+				cfg.MaxRounds, rounds, remaining)
+		}
+		e.admitArrivals(now)
+		if e.rejected > 0 {
+			remaining -= e.rejected
+			e.rejected = 0
+			if remaining <= 0 {
+				break
+			}
+		}
+
+		if len(e.active) == 0 {
+			// Idle: jump to the next arrival instead of spinning rounds.
+			if e.nextArrival < len(e.jobs) {
+				next := e.jobs[e.nextArrival].Spec.Arrival
+				// Advance in whole rounds to keep the round grid stable.
+				for now+cfg.RoundSec <= next {
+					now += cfg.RoundSec
+					rounds++
+				}
+				now += cfg.RoundSec
+				rounds++
+				continue
+			}
+			// Nothing active and nothing arriving: only rejected jobs
+			// remain.
+			break
+		}
+
+		ordered := cfg.Sched.Order(e.active, now)
+		if len(ordered) != len(e.active) {
+			return nil, fmt.Errorf("sim: scheduler %s returned %d jobs, want %d",
+				cfg.Sched.Name(), len(ordered), len(e.active))
+		}
+		prefix := schedulablePrefix(ordered, e.cluster.Size())
+
+		if err := e.place(prefix, now); err != nil {
+			return nil, err
+		}
+
+		finished := e.advance(prefix, now)
+		remaining -= finished
+
+		if cfg.RecordUtilization {
+			inUse := 0
+			for _, j := range prefix {
+				inUse += j.Spec.Demand
+			}
+			e.utilSeries = append(e.utilSeries, UtilSample{Time: now, InUse: inUse})
+		}
+
+		now += cfg.RoundSec
+		rounds++
+	}
+
+	return e.result(start, now, rounds)
+}
+
+// admitArrivals moves arrived jobs into the active set, applying
+// admission control. Rejected jobs are marked Done with a zero-length
+// schedule so the run can terminate.
+func (e *engine) admitArrivals(now float64) {
+	for e.nextArrival < len(e.jobs) {
+		j := e.jobs[e.nextArrival]
+		if j.Spec.Arrival > now {
+			break
+		}
+		e.nextArrival++
+		if !e.cfg.Admit.Admit(j, e.cluster) {
+			j.Done = true
+			j.Finish = j.Spec.Arrival
+			j.FirstRun = j.Spec.Arrival
+			e.rejected++
+			e.recordEvent(now, j.Spec.ID, EventReject, 0)
+			continue
+		}
+		e.active = append(e.active, j)
+		e.recordEvent(now, j.Spec.ID, EventAdmit, 0)
+	}
+}
+
+// schedulablePrefix marks the queue at cluster size (§III-B, Fig. 4): the
+// longest prefix of the scheduling order whose cumulative demand fits the
+// cluster. The walk stops at the first job that does not fit, preserving
+// the scheduling policy's guarantee (no backfilling around a blocked
+// high-priority job).
+func schedulablePrefix(ordered []*Job, clusterSize int) []*Job {
+	used := 0
+	for i, j := range ordered {
+		if used+j.Spec.Demand > clusterSize {
+			return ordered[:i]
+		}
+		used += j.Spec.Demand
+	}
+	return ordered
+}
+
+// place preempts descheduled jobs, applies sticky semantics and invokes
+// the placement policy for jobs needing GPUs.
+func (e *engine) place(prefix []*Job, now float64) error {
+	inPrefix := make(map[int]bool, len(prefix))
+	for _, j := range prefix {
+		inPrefix[j.Spec.ID] = true
+	}
+	// Preempt running jobs that fell out of the schedulable set.
+	for _, j := range e.active {
+		if j.Alloc != nil && !inPrefix[j.Spec.ID] {
+			e.cluster.Release(j.Alloc)
+			j.PrevAlloc = j.Alloc
+			j.Alloc = nil
+			j.Preemptions++
+			e.recordEvent(now, j.Spec.ID, EventPreempt, j.Spec.Demand)
+		}
+	}
+
+	sticky := e.cfg.Placer.Sticky()
+	var need []*Job
+	prevAlloc := make(map[int][]cluster.GPUID)
+	for _, j := range prefix {
+		if j.Alloc != nil {
+			if sticky {
+				continue // sticky jobs keep their GPUs
+			}
+			prevAlloc[j.Spec.ID] = j.Alloc
+			j.PrevAlloc = j.Alloc
+			e.cluster.Release(j.Alloc)
+			j.Alloc = nil
+		}
+		need = append(need, j)
+	}
+	if len(need) == 0 {
+		return nil
+	}
+
+	t0 := time.Now()
+	allocs := e.cfg.Placer.PlaceRound(e.cluster, need, now)
+	e.placeTimes = append(e.placeTimes, time.Since(t0).Seconds())
+
+	for _, j := range need {
+		alloc, ok := allocs[j.Spec.ID]
+		if !ok || len(alloc) != j.Spec.Demand {
+			return fmt.Errorf("sim: placer %s gave job %d %d GPUs, want %d",
+				e.cfg.Placer.Name(), j.Spec.ID, len(alloc), j.Spec.Demand)
+		}
+		// Validate before committing so a buggy placer surfaces as an
+		// error, not a panic deep in the cluster bookkeeping.
+		seen := make(map[cluster.GPUID]bool, len(alloc))
+		for _, g := range alloc {
+			if g < 0 || int(g) >= e.cluster.Size() {
+				return fmt.Errorf("sim: placer %s gave job %d out-of-range GPU %d",
+					e.cfg.Placer.Name(), j.Spec.ID, g)
+			}
+			if seen[g] {
+				return fmt.Errorf("sim: placer %s gave job %d GPU %d twice",
+					e.cfg.Placer.Name(), j.Spec.ID, g)
+			}
+			seen[g] = true
+			if !e.cluster.IsFree(g) {
+				return fmt.Errorf("sim: placer %s gave job %d busy GPU %d (owner %d)",
+					e.cfg.Placer.Name(), j.Spec.ID, g, e.cluster.Owner(g))
+			}
+		}
+		e.cluster.Allocate(j.Spec.ID, alloc)
+		_, wasRunning := prevAlloc[j.Spec.ID]
+		if wasRunning && !sameGPUs(prevAlloc[j.Spec.ID], alloc) {
+			j.Migrations++
+			j.migrated = true
+			e.recordEvent(now, j.Spec.ID, EventMigrate, j.Spec.Demand)
+		}
+		j.Alloc = alloc
+		switch {
+		case !j.Started:
+			j.Started = true
+			j.FirstRun = now
+			e.recordEvent(now, j.Spec.ID, EventStart, j.Spec.Demand)
+		case !wasRunning:
+			e.recordEvent(now, j.Spec.ID, EventResume, j.Spec.Demand)
+		}
+	}
+	return nil
+}
+
+func sameGPUs(a, b []cluster.GPUID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[cluster.GPUID]bool, len(a))
+	for _, g := range a {
+		set[g] = true
+	}
+	for _, g := range b {
+		if !set[g] {
+			return false
+		}
+	}
+	return true
+}
+
+// slowdown evaluates Equation 1's multiplier for a job's allocation:
+// L(alloc) × max_g PMScore(g, class), with the true (experienced)
+// profile. With the optional rack level enabled, allocations spanning
+// nodes inside one rack pay Lrack and only rack-spanning allocations pay
+// the full Lacross.
+func (e *engine) slowdown(j *Job) float64 {
+	l := 1.0
+	if e.cluster.NodesSpanned(j.Alloc) > 1 {
+		l = e.cfg.Lacross
+		if e.cfg.ModelLacross != nil {
+			if v, ok := e.cfg.ModelLacross[j.Spec.Model]; ok {
+				l = v
+			}
+		}
+		if e.cfg.Lrack > 0 && e.cluster.RacksSpanned(j.Alloc) <= 1 {
+			l = e.cfg.Lrack
+		}
+	}
+	maxV := 0.0
+	for _, g := range j.Alloc {
+		if v := e.cfg.TrueProfile.Score(j.Spec.Class, int(g)); v > maxV {
+			maxV = v
+		}
+	}
+	return l * maxV
+}
+
+// advance progresses every placed job by one round, completing jobs whose
+// remaining work fits in the round. Returns the number of completions.
+func (e *engine) advance(prefix []*Job, now float64) int {
+	finished := 0
+	for _, j := range prefix {
+		round := e.cfg.RoundSec
+		overhead := 0.0
+		if j.migrated {
+			// Checkpoint/restore eats the start of the round.
+			overhead = e.cfg.MigrationPenaltySec
+			if overhead > round {
+				overhead = round
+			}
+			round -= overhead
+			j.migrated = false
+		}
+		sd := e.slowdown(j)
+		if e.cfg.Observer != nil {
+			perGPU := make([]float64, len(j.Alloc))
+			for i, g := range j.Alloc {
+				perGPU[i] = e.cfg.TrueProfile.Score(j.Spec.Class, int(g))
+			}
+			e.cfg.Observer.ObserveRound(j, perGPU, now)
+		}
+		wallToFinish := j.Remaining * sd
+		wallRun := round
+		if wallToFinish <= round {
+			wallRun = wallToFinish
+			j.Remaining = 0
+			j.Done = true
+			j.Finish = now + overhead + wallToFinish
+			e.cluster.Release(j.Alloc)
+			j.Alloc = nil
+			finished++
+			e.recordEvent(j.Finish, j.Spec.ID, EventFinish, j.Spec.Demand)
+		} else {
+			j.Remaining -= round / sd
+		}
+		j.Attained += wallRun * float64(j.Spec.Demand)
+		e.busyGPUSeconds += wallRun * float64(j.Spec.Demand)
+	}
+	if finished > 0 {
+		// Compact the active list.
+		kept := e.active[:0]
+		for _, j := range e.active {
+			if !j.Done {
+				kept = append(kept, j)
+			}
+		}
+		e.active = kept
+	}
+	return finished
+}
+
+func (e *engine) result(start, end float64, rounds int) (*Result, error) {
+	res := &Result{
+		Jobs:       e.jobs,
+		Rounds:     rounds,
+		UtilSeries: e.utilSeries,
+		PlaceTimes: e.placeTimes,
+		Events:     e.events,
+	}
+	first, last := e.cfg.MeasureFirst, e.cfg.MeasureLast
+	if last <= 0 {
+		last = len(e.jobs) - 1
+	}
+	lastFinish := start
+	for _, j := range e.jobs {
+		if j.Done && j.Finish > lastFinish {
+			lastFinish = j.Finish
+		}
+		if j.Done && j.Spec.ID >= first && j.Spec.ID <= last {
+			res.Measured = append(res.Measured, j)
+		}
+	}
+	firstArrival := e.jobs[0].Spec.Arrival
+	res.Makespan = lastFinish - firstArrival
+	span := lastFinish - firstArrival
+	if span > 0 {
+		capacity := float64(e.cluster.Size()) * span
+		res.Utilization = e.busyGPUSeconds / capacity
+		var ideal float64
+		for _, j := range e.jobs {
+			if j.Done && j.Started {
+				ideal += float64(j.Spec.Demand) * j.Spec.Work
+			}
+		}
+		res.ProductiveUtilization = ideal / capacity
+	}
+	if err := e.cluster.CheckInvariants(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestBootstrapMeanCICoversTruth(t *testing.T) {
+	// Sample from a known distribution: the CI should contain the true
+	// mean in the vast majority of trials.
+	r := rng.New(1)
+	covered := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		sample := make([]float64, 200)
+		for i := range sample {
+			sample[i] = 5 + r.NormFloat64()
+		}
+		ci := BootstrapMeanCI(sample, 400, 0.95, uint64(trial))
+		if ci.Contains(5.0) {
+			covered++
+		}
+		if ci.Low > ci.High {
+			t.Fatalf("inverted interval %+v", ci)
+		}
+	}
+	if covered < trials*85/100 {
+		t.Errorf("95%% CI covered the truth in only %d/%d trials", covered, trials)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	a := BootstrapMeanCI(sample, 100, 0.95, 7)
+	b := BootstrapMeanCI(sample, 100, 0.95, 7)
+	if a != b {
+		t.Errorf("same seed gave different intervals: %+v vs %+v", a, b)
+	}
+	c := BootstrapMeanCI(sample, 100, 0.95, 8)
+	if a == c {
+		t.Error("different seeds gave identical intervals (suspicious)")
+	}
+}
+
+func TestBootstrapCIWidthShrinksWithN(t *testing.T) {
+	r := rng.New(3)
+	small := make([]float64, 20)
+	big := make([]float64, 2000)
+	for i := range small {
+		small[i] = r.NormFloat64()
+	}
+	for i := range big {
+		big[i] = r.NormFloat64()
+	}
+	wSmall := BootstrapMeanCI(small, 300, 0.95, 1).Width()
+	wBig := BootstrapMeanCI(big, 300, 0.95, 1).Width()
+	if wBig >= wSmall {
+		t.Errorf("CI width did not shrink with sample size: %v vs %v", wSmall, wBig)
+	}
+}
+
+func TestBootstrapImprovementCI(t *testing.T) {
+	// ours is consistently 40% below base: the CI must sit near 0.40 and
+	// exclude 0.
+	r := rng.New(5)
+	base := make([]float64, 300)
+	ours := make([]float64, 300)
+	for i := range base {
+		base[i] = 100 + 10*r.NormFloat64()
+		ours[i] = 60 + 6*r.NormFloat64()
+	}
+	ci := BootstrapImprovementCI(base, ours, 500, 0.95, 2)
+	sampleImp := Improvement(Mean(base), Mean(ours))
+	if !ci.Contains(sampleImp) {
+		t.Errorf("CI %+v does not contain the sample improvement %v", ci, sampleImp)
+	}
+	if ci.Low < 0.35 || ci.High > 0.45 {
+		t.Errorf("CI %+v far from the true improvement 0.40", ci)
+	}
+	if ci.Contains(0) {
+		t.Errorf("CI %+v should exclude zero for a real effect", ci)
+	}
+}
+
+func TestBootstrapDegenerateInputs(t *testing.T) {
+	if ci := BootstrapMeanCI(nil, 100, 0.95, 1); ci.Width() != 0 {
+		t.Errorf("empty sample CI = %+v", ci)
+	}
+	if ci := BootstrapImprovementCI([]float64{1}, []float64{1, 2}, 100, 0.95, 1); ci.Width() != 0 {
+		t.Errorf("mismatched pairs CI = %+v", ci)
+	}
+	if ci := BootstrapMeanCI([]float64{1, 2}, 0, 0.95, 1); ci.Width() != 0 {
+		t.Errorf("zero resamples CI = %+v", ci)
+	}
+}

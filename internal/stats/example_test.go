@@ -1,0 +1,41 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ExampleImprovement shows the paper's improvement convention for
+// lower-is-better metrics: "PAL improves average JCT by 42% over
+// Tiresias" means (base - ours) / base = 0.42.
+func ExampleImprovement() {
+	baseJCT := 100.0
+	palJCT := 58.0
+	fmt.Printf("%.0f%%\n", 100*stats.Improvement(baseJCT, palJCT))
+	// Output:
+	// 42%
+}
+
+// ExampleSummarize condenses a JCT sample into the statistics the
+// experiment tables report.
+func ExampleSummarize() {
+	jcts := []float64{100, 200, 300, 400, 10000}
+	s := stats.Summarize(jcts)
+	fmt.Printf("mean=%.0f median=%.0f max=%.0f\n", s.Mean, s.Median, s.Max)
+	// Output:
+	// mean=2200 median=300 max=10000
+}
+
+// ExampleCDF builds the empirical distribution behind the paper's JCT
+// CDF figures.
+func ExampleCDF() {
+	cdf := stats.CDF([]float64{1, 2, 2, 4})
+	for _, p := range cdf {
+		fmt.Printf("%.0f -> %.2f\n", p.Value, p.Fraction)
+	}
+	// Output:
+	// 1 -> 0.25
+	// 2 -> 0.75
+	// 4 -> 1.00
+}

@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("GeoMean(1,4) = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 8, 0, -3}); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("GeoMean skipping non-positives = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+	if got := GeoMean([]float64{0, -1}); got != 0 {
+		t.Errorf("GeoMean(non-positive) = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -2, 7, 0}
+	if Min(xs) != -2 || Max(xs) != 7 {
+		t.Errorf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
+		t.Error("empty Min/Max should be +/-Inf")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 2, 2}); got != 0 {
+		t.Errorf("StdDev(constant) = %v", got)
+	}
+	// Population stddev of {1,3} is 1.
+	if got := StdDev([]float64{1, 3}); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("StdDev(1,3) = %v, want 1", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5}, {-5, 10}, {105, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Errorf("single-element percentile = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestPercentileProperties(t *testing.T) {
+	check := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p50 := Percentile(xs, 50)
+		p99 := Percentile(xs, 99)
+		return p50 >= Min(xs) && p99 <= Max(xs) && p50 <= p99
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("Summarize(nil).N = %d", z.N)
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	// One extreme outlier: 100 against a tight cluster.
+	xs := []float64{1, 2, 3, 4, 5, 100}
+	b := BoxplotOf(xs)
+	if b.Median <= 0 || b.Q1 >= b.Q3 {
+		t.Errorf("degenerate boxplot %+v", b)
+	}
+	if b.OutlierCount != 1 {
+		t.Errorf("OutlierCount = %d, want 1", b.OutlierCount)
+	}
+	if b.WhiskerHigh >= 100 {
+		t.Errorf("whisker includes the outlier: %v", b.WhiskerHigh)
+	}
+	if z := BoxplotOf(nil); z.Median != 0 {
+		t.Errorf("BoxplotOf(nil) = %+v", z)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	cdf := CDF([]float64{1, 2, 2, 3})
+	if len(cdf) != 3 {
+		t.Fatalf("CDF steps = %d, want 3 (dedup)", len(cdf))
+	}
+	if cdf[1].Value != 2 || !almostEqual(cdf[1].Fraction, 0.75, 1e-12) {
+		t.Errorf("CDF[1] = %+v", cdf[1])
+	}
+	if last := cdf[len(cdf)-1]; last.Fraction != 1 {
+		t.Errorf("CDF should end at 1, got %v", last.Fraction)
+	}
+	if CDF(nil) != nil {
+		t.Error("CDF(nil) should be nil")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	cdf := CDF([]float64{1, 2, 3, 4})
+	if got := CDFAt(cdf, 2.5); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("CDFAt(2.5) = %v, want 0.5", got)
+	}
+	if got := CDFAt(cdf, 0); got != 0 {
+		t.Errorf("CDFAt(0) = %v, want 0", got)
+	}
+	if got := CDFAt(cdf, 10); got != 1 {
+		t.Errorf("CDFAt(10) = %v, want 1", got)
+	}
+}
+
+func TestCDFMonotonic(t *testing.T) {
+	check := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		cdf := CDF(xs)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].Value <= cdf[i-1].Value || cdf[i].Fraction <= cdf[i-1].Fraction {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	edges, counts := Histogram([]float64{0.5, 1.5, 1.6, 9.9, -5, 50}, 0, 10, 10)
+	if len(edges) != 11 || len(counts) != 10 {
+		t.Fatalf("histogram shape %d/%d", len(edges), len(counts))
+	}
+	if counts[0] != 2 { // 0.5 and clamped -5
+		t.Errorf("bin 0 = %d, want 2", counts[0])
+	}
+	if counts[1] != 2 { // 1.5, 1.6
+		t.Errorf("bin 1 = %d, want 2", counts[1])
+	}
+	if counts[9] != 2 { // 9.9 and clamped 50
+		t.Errorf("bin 9 = %d, want 2", counts[9])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 6 {
+		t.Errorf("histogram lost samples: %d", total)
+	}
+	if e, c := Histogram(nil, 0, 1, 0); e != nil || c != nil {
+		t.Error("degenerate histogram should return nils")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(100, 58); !almostEqual(got, 0.42, 1e-12) {
+		t.Errorf("Improvement(100,58) = %v", got)
+	}
+	if got := Improvement(100, 120); !almostEqual(got, -0.2, 1e-12) {
+		t.Errorf("Improvement(100,120) = %v", got)
+	}
+	if got := Improvement(0, 5); got != 0 {
+		t.Errorf("Improvement(0,·) = %v", got)
+	}
+}

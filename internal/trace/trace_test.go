@@ -1,0 +1,277 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vprof"
+)
+
+func TestSiaPhillyBasics(t *testing.T) {
+	params := DefaultSiaPhillyParams()
+	tr := SiaPhilly(params, 1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 160 {
+		t.Fatalf("jobs = %d, want 160", len(tr.Jobs))
+	}
+	last := tr.Jobs[len(tr.Jobs)-1]
+	if last.Arrival > params.WindowHours*3600 {
+		t.Errorf("last arrival %v beyond window", last.Arrival)
+	}
+}
+
+func TestSiaPhillyDeterministic(t *testing.T) {
+	a := SiaPhilly(DefaultSiaPhillyParams(), 2)
+	b := SiaPhilly(DefaultSiaPhillyParams(), 2)
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("trace not deterministic at job %d", i)
+		}
+	}
+	c := SiaPhilly(DefaultSiaPhillyParams(), 3)
+	if a.Jobs[0] == c.Jobs[0] && a.Jobs[1] == c.Jobs[1] && a.Jobs[2] == c.Jobs[2] {
+		t.Error("different workload indices look identical")
+	}
+}
+
+func TestSiaPhillyDemandMix(t *testing.T) {
+	// Aggregate over all 8 workloads: ~40% single-GPU, max demand 48.
+	var single, total int
+	maxD := 0
+	for idx := 1; idx <= 8; idx++ {
+		tr := SiaPhilly(DefaultSiaPhillyParams(), idx)
+		for _, j := range tr.Jobs {
+			total++
+			if j.Demand == 1 {
+				single++
+			}
+			if j.Demand > maxD {
+				maxD = j.Demand
+			}
+		}
+	}
+	frac := float64(single) / float64(total)
+	if frac < 0.33 || frac > 0.47 {
+		t.Errorf("single-GPU fraction = %v, want ~0.40", frac)
+	}
+	if maxD != 48 {
+		t.Errorf("max demand = %d, want 48", maxD)
+	}
+}
+
+func TestWorkload5EarlyBigJob(t *testing.T) {
+	tr := SiaPhilly(DefaultSiaPhillyParams(), 5)
+	j := tr.Jobs[19]
+	if j.Demand != 48 {
+		t.Errorf("workload 5 job 19 demand = %d, want 48", j.Demand)
+	}
+	if j.Model != "resnet50" || j.Class != vprof.ClassA {
+		t.Errorf("workload 5 job 19 = %s/%v", j.Model, j.Class)
+	}
+	if j.Work < 2*3600 {
+		t.Errorf("workload 5 job 19 work = %v, want long", j.Work)
+	}
+}
+
+func TestWorkload3NoEarlyLargeJobs(t *testing.T) {
+	tr := SiaPhilly(DefaultSiaPhillyParams(), 3)
+	for i := 0; i <= 60; i++ {
+		if tr.Jobs[i].Demand >= 16 {
+			t.Errorf("workload 3 job %d has demand %d before the large-job region",
+				i, tr.Jobs[i].Demand)
+		}
+	}
+}
+
+func TestSiaPhillyPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NumJobs=0 did not panic")
+		}
+	}()
+	SiaPhilly(SiaPhillyParams{}, 1)
+}
+
+func TestSynergyBasics(t *testing.T) {
+	params := DefaultSynergyParams(10)
+	params.NumJobs = 1000
+	tr := Synergy(params)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 1000 {
+		t.Fatalf("jobs = %d", len(tr.Jobs))
+	}
+	if frac := tr.SingleGPUFraction(); frac < 0.75 || frac > 0.89 {
+		t.Errorf("single-GPU fraction = %v, want >0.8", frac)
+	}
+	if tr.MaxDemand() > 32 {
+		t.Errorf("max demand = %d", tr.MaxDemand())
+	}
+}
+
+func TestSynergyArrivalRate(t *testing.T) {
+	params := DefaultSynergyParams(10)
+	params.NumJobs = 2000
+	tr := Synergy(params)
+	span := tr.Jobs[len(tr.Jobs)-1].Arrival - tr.Jobs[0].Arrival
+	rate := float64(len(tr.Jobs)-1) / span * 3600
+	if math.Abs(rate-10) > 1 {
+		t.Errorf("empirical rate = %v jobs/hour, want ~10", rate)
+	}
+}
+
+func TestSynergyRatesDiffer(t *testing.T) {
+	lo := Synergy(DefaultSynergyParams(4))
+	hi := Synergy(DefaultSynergyParams(20))
+	loSpan := lo.Jobs[len(lo.Jobs)-1].Arrival
+	hiSpan := hi.Jobs[len(hi.Jobs)-1].Arrival
+	if hiSpan >= loSpan {
+		t.Errorf("20 j/h span %v should be shorter than 4 j/h span %v", hiSpan, loSpan)
+	}
+}
+
+func TestSynergyDeterministic(t *testing.T) {
+	a := Synergy(DefaultSynergyParams(8))
+	b := Synergy(DefaultSynergyParams(8))
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("synergy trace not deterministic at job %d", i)
+		}
+	}
+}
+
+func TestSynergyPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad params did not panic")
+		}
+	}()
+	Synergy(SynergyParams{NumJobs: 10, JobsPerHour: 0})
+}
+
+func TestTableIIModels(t *testing.T) {
+	models := TableIIModels()
+	if len(models) != 6 {
+		t.Fatalf("models = %d, want 6", len(models))
+	}
+	classes := map[string]vprof.Class{
+		"pointnet": vprof.ClassC, "vgg19": vprof.ClassA, "dcgan": vprof.ClassA,
+		"bert": vprof.ClassB, "resnet50": vprof.ClassA, "gpt2": vprof.ClassB,
+	}
+	var weight float64
+	for _, m := range models {
+		if want, ok := classes[m.Name]; !ok || m.Class != want {
+			t.Errorf("model %s class %v", m.Name, m.Class)
+		}
+		if m.Lacross < 1.0 {
+			t.Errorf("model %s penalty %v < 1", m.Name, m.Lacross)
+		}
+		weight += m.Weight
+	}
+	if math.Abs(weight-1.0) > 1e-9 {
+		t.Errorf("mix weights sum to %v", weight)
+	}
+}
+
+func TestLacrossByModel(t *testing.T) {
+	m := LacrossByModel()
+	if len(m) != 6 {
+		t.Fatalf("map size %d", len(m))
+	}
+	if m["gpt2"] <= m["pointnet"] {
+		t.Error("language models should pay more than pointnet for splitting")
+	}
+}
+
+func TestJobClassesMatchModels(t *testing.T) {
+	tr := SiaPhilly(DefaultSiaPhillyParams(), 1)
+	classes := map[string]vprof.Class{}
+	for _, m := range TableIIModels() {
+		classes[m.Name] = m.Class
+	}
+	for _, j := range tr.Jobs {
+		if j.Class != classes[j.Model] {
+			t.Errorf("job %d model %s class %v, want %v", j.ID, j.Model, j.Class, classes[j.Model])
+		}
+	}
+}
+
+func TestTotalGPUSeconds(t *testing.T) {
+	tr := &Trace{Name: "t", Jobs: []JobSpec{
+		{ID: 0, Demand: 2, Work: 100, Arrival: 0},
+		{ID: 1, Demand: 1, Work: 50, Arrival: 1},
+	}}
+	if got := tr.TotalGPUSeconds(); got != 250 {
+		t.Errorf("TotalGPUSeconds = %v", got)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	good := SiaPhilly(DefaultSiaPhillyParams(), 1)
+	broken := &Trace{Name: "b", Jobs: append([]JobSpec(nil), good.Jobs...)}
+	broken.Jobs[5].Arrival = -1
+	if broken.Validate() == nil {
+		t.Error("descending arrival not caught")
+	}
+	broken2 := &Trace{Name: "b2", Jobs: append([]JobSpec(nil), good.Jobs...)}
+	broken2.Jobs[3].Demand = 0
+	if broken2.Validate() == nil {
+		t.Error("zero demand not caught")
+	}
+	broken3 := &Trace{Name: "b3", Jobs: append([]JobSpec(nil), good.Jobs...)}
+	broken3.Jobs[2].ID = 99
+	if broken3.Validate() == nil {
+		t.Error("non-dense IDs not caught")
+	}
+	broken4 := &Trace{Name: "b4", Jobs: append([]JobSpec(nil), good.Jobs...)}
+	broken4.Jobs[4].Work = 0
+	if broken4.Validate() == nil {
+		t.Error("zero work not caught")
+	}
+}
+
+func TestDurationBounds(t *testing.T) {
+	params := DefaultSiaPhillyParams()
+	for idx := 1; idx <= 8; idx++ {
+		tr := SiaPhilly(params, idx)
+		for _, j := range tr.Jobs {
+			if j.ID == 19 && idx == 5 {
+				continue // the injected big job has its own duration
+			}
+			if j.Work < 60 || j.Work > params.MaxWorkSec {
+				t.Errorf("w%d job %d work %v outside bounds", idx, j.ID, j.Work)
+			}
+		}
+	}
+}
+
+func TestSynergyJobsIndependentOfRate(t *testing.T) {
+	a := Synergy(DefaultSynergyParams(4))
+	b := Synergy(DefaultSynergyParams(20))
+	for i := range a.Jobs {
+		ja, jb := a.Jobs[i], b.Jobs[i]
+		if ja.Model != jb.Model || ja.Demand != jb.Demand || ja.Work != jb.Work {
+			t.Fatalf("job %d attributes differ across rates: %+v vs %+v", i, ja, jb)
+		}
+		if ja.Arrival == jb.Arrival {
+			t.Fatalf("job %d arrival identical across rates", i)
+		}
+	}
+}
+
+func BenchmarkSiaPhillyGeneration(b *testing.B) {
+	params := DefaultSiaPhillyParams()
+	for i := 0; i < b.N; i++ {
+		_ = SiaPhilly(params, 1+i%8)
+	}
+}
+
+func BenchmarkSynergyGeneration(b *testing.B) {
+	params := DefaultSynergyParams(10)
+	for i := 0; i < b.N; i++ {
+		_ = Synergy(params)
+	}
+}
