@@ -19,14 +19,18 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/kmeans"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vprof"
@@ -44,6 +48,14 @@ func benchScale() experiments.Scale {
 // benchmarks with growing b.N; the table only needs to appear once).
 var printed = map[string]bool{}
 
+// benchExperiment regenerates one experiment per iteration on the
+// shared process pool. Like the seed's sync.Map caches before it, the
+// pool's result cache persists across iterations and bench targets, so
+// with -benchtime above 1x the later iterations measure the warm
+// (cache-hit) path; the documented -benchtime=1x invocation measures a
+// cold regeneration, modulo results shared with previously-run targets
+// (fig19 reuses fig14/fig16_17 cells). The BenchmarkRunner* targets
+// below measure the orchestration itself with fresh pools.
 func benchExperiment(b *testing.B, name string) {
 	b.Helper()
 	scale := benchScale()
@@ -56,6 +68,83 @@ func benchExperiment(b *testing.B, name string) {
 			printed[name] = true
 			fmt.Printf("\n%s\n", table.String())
 		}
+	}
+}
+
+// --- Orchestration-layer benchmarks (internal/runner) ---
+//
+// The figure benches above already execute through the shared pool; the
+// benchmarks below isolate the orchestration itself on a fixed spec
+// list (the Sia baseline grid at the bench scale) and report the
+// parallel-vs-sequential speedup. Every pass uses a fresh pool and a
+// fresh cache, so the parallel pass cannot replay the sequential
+// pass's results.
+
+// runSpecList executes the spec list on a fresh pool and returns the
+// wall-clock duration.
+func runSpecList(b *testing.B, specs []experiments.RunSpec, workers int) time.Duration {
+	b.Helper()
+	prev := experiments.SetPool(runner.NewPool(workers, runner.NewResultCache(0)))
+	defer experiments.SetPool(prev)
+	start := time.Now()
+	results, err := experiments.RunAll(context.Background(), "bench", specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(results) != len(specs) {
+		b.Fatalf("got %d results for %d specs", len(results), len(specs))
+	}
+	return time.Since(start)
+}
+
+// benchSpecs returns the fixed grid the runner benchmarks sweep, with
+// the process-global profile/binning memos pre-warmed: the one-time
+// silhouette K-Means construction would otherwise bill itself to
+// whichever pass ran first and skew the sequential-vs-parallel ratio.
+// The quick scale keeps -benchtime=1x runs snappy; REPRO_SCALE=full
+// uses the paper-sized workload list.
+func benchSpecs(b *testing.B) []experiments.RunSpec {
+	b.Helper()
+	specs := experiments.SiaBaselineSpecs(benchScale())
+	for _, spec := range specs {
+		if spec.Policy == experiments.PALPolicy {
+			if _, err := experiments.Run(spec); err != nil {
+				b.Fatal(err)
+			}
+			break
+		}
+	}
+	b.ResetTimer()
+	return specs
+}
+
+func BenchmarkRunnerSequential(b *testing.B) {
+	specs := benchSpecs(b)
+	for i := 0; i < b.N; i++ {
+		runSpecList(b, specs, 1)
+	}
+}
+
+func BenchmarkRunnerParallel(b *testing.B) {
+	specs := benchSpecs(b)
+	for i := 0; i < b.N; i++ {
+		runSpecList(b, specs, 0) // GOMAXPROCS workers
+	}
+}
+
+// BenchmarkRunnerSpeedup runs both configurations back to back and
+// reports the ratio, so one -bench=RunnerSpeedup -benchtime=1x
+// invocation answers "what does the worker pool buy on this machine".
+func BenchmarkRunnerSpeedup(b *testing.B) {
+	specs := benchSpecs(b)
+	workers := runtime.GOMAXPROCS(0)
+	for i := 0; i < b.N; i++ {
+		seq := runSpecList(b, specs, 1)
+		par := runSpecList(b, specs, workers)
+		b.ReportMetric(seq.Seconds(), "sequential-s")
+		b.ReportMetric(par.Seconds(), "parallel-s")
+		b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup")
+		b.ReportMetric(float64(workers), "workers")
 	}
 }
 

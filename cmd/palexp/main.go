@@ -16,16 +16,19 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment ID (see -list) or \"all\"")
-		scale  = flag.String("scale", "full", "experiment scale: full or quick")
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		format = flag.String("format", "text", "output format: text, csv, md, json")
+		exp     = flag.String("exp", "all", "experiment ID (see -list) or \"all\"")
+		scale   = flag.String("scale", "full", "experiment scale: full or quick")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		format  = flag.String("format", "text", "output format: text, csv, md, json")
+		workers = flag.Int("workers", 0, "concurrent simulations within an experiment (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	experiments.SetPool(runner.NewPool(*workers, runner.NewResultCache(0)))
 
 	if *list {
 		for _, name := range experiments.Names() {

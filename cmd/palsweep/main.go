@@ -1,0 +1,287 @@
+// Command palsweep runs any subset of the registered experiments
+// concurrently through the runner pool, with progress/ETA reporting and
+// JSON/CSV/Markdown export.
+//
+// Where palexp executes one experiment at a time, palsweep fans every
+// requested experiment's simulation grid out across a shared worker
+// pool: independent simulations from different experiments interleave
+// freely, the content-addressed result cache deduplicates overlapping
+// configurations (e.g. the Sia baseline feeding fig11, fig12 and
+// headline), and each experiment's table is still assembled from
+// results in deterministic submission order, so the output is
+// byte-identical to a sequential run — with one exception: fig18
+// reports wall-clock placement timings, which vary run to run by
+// nature.
+//
+// Usage:
+//
+//	palsweep -list
+//	palsweep -experiments fig11,fig14 -workers 8 -scale quick
+//	palsweep -experiments all -scale full -format csv -out results/
+//	palsweep -experiments sia -workers 1   # fig11,fig12,fig13,headline
+//
+// Ctrl-C cancels the sweep: in-flight simulations finish, queued ones
+// never start.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/export"
+	"repro/internal/runner"
+)
+
+// groups name convenient experiment subsets.
+var groups = map[string][]string{
+	"sia":      {"fig11", "fig12", "fig13", "headline"},
+	"synergy":  {"fig14", "fig15", "fig16_17", "fig19", "fig20"},
+	"testbed":  {"fig09", "fig10", "table04"},
+	"ablation": {"ablation_hysteresis", "ablation_k", "ablation_online", "ablation_priority", "ablation_rack"},
+}
+
+func main() {
+	var (
+		expFlag  = flag.String("experiments", "all", "comma-separated experiment IDs, group names (sia, synergy, testbed, ablation) or \"all\"")
+		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		scale    = flag.String("scale", "full", "experiment scale: full or quick")
+		format   = flag.String("format", "text", "output format: text, csv, md, json")
+		outDir   = flag.String("out", "", "write one file per experiment into this directory instead of stdout")
+		cacheCap = flag.Int("cache", 0, "result-cache capacity in simulations (0 = default)")
+		list     = flag.Bool("list", false, "list available experiments and groups, then exit")
+		quiet    = flag.Bool("quiet", false, "suppress the progress line")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range experiments.Names() {
+			fmt.Printf("%-20s %s\n", name, experiments.Describe(name))
+		}
+		groupNames := make([]string, 0, len(groups))
+		for g := range groups {
+			groupNames = append(groupNames, g)
+		}
+		sort.Strings(groupNames)
+		fmt.Println()
+		for _, g := range groupNames {
+			fmt.Printf("%-20s group: %s\n", g, strings.Join(groups[g], ","))
+		}
+		return
+	}
+
+	names, err := resolveExperiments(*expFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var sc experiments.Scale
+	switch *scale {
+	case "full":
+		sc = experiments.FullScale()
+	case "quick":
+		sc = experiments.QuickScale()
+	default:
+		fatal(fmt.Errorf("unknown scale %q (want full or quick)", *scale))
+	}
+	switch *format {
+	case "text", "csv", "md", "json":
+	default:
+		// Reject before running anything: a bad format discovered after a
+		// full-scale sweep would throw minutes of simulation away.
+		fatal(fmt.Errorf("unknown format %q (want text, csv, md or json)", *format))
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// After the first Ctrl-C cancels the sweep, deregister the
+		// handler so a second Ctrl-C force-kills the process instead of
+		// being swallowed while in-flight simulations drain.
+		<-ctx.Done()
+		stop()
+	}()
+	sc.Ctx = ctx
+
+	pool := runner.NewPool(*workers, runner.NewResultCache(*cacheCap))
+	experiments.SetPool(pool)
+
+	start := time.Now()
+	progressDone := make(chan struct{})
+	progressExited := make(chan struct{})
+	var completedExps sync.Map // name -> struct{}
+	if !*quiet {
+		go func() {
+			defer close(progressExited)
+			progressLoop(pool, names, &completedExps, start, progressDone)
+		}()
+	}
+
+	type outcome struct {
+		table *experiments.Table
+		err   error
+		took  time.Duration
+	}
+	outcomes := make([]outcome, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		i, name := i, name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			expStart := time.Now()
+			table, err := experiments.RunByName(name, sc)
+			outcomes[i] = outcome{table: table, err: err, took: time.Since(expStart)}
+			completedExps.Store(name, struct{}{})
+		}()
+	}
+	wg.Wait()
+	if !*quiet {
+		close(progressDone)
+		// Wait for the loop to exit before clearing, so a pending ticker
+		// fire cannot repaint over the final error/summary lines. The
+		// ANSI erase-line wipes the whole row regardless of its length.
+		<-progressExited
+		fmt.Fprint(os.Stderr, "\r\x1b[K")
+	}
+
+	st := pool.Stats()
+	failures := 0
+	for i, name := range names {
+		o := outcomes[i]
+		if o.err != nil {
+			// Only errors that actually are the cancellation get the
+			// short form; a genuine pre-Ctrl-C failure keeps its message.
+			if errors.Is(o.err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "palsweep: %s: cancelled\n", name)
+			} else {
+				fmt.Fprintf(os.Stderr, "palsweep: %s: %v\n", name, o.err)
+			}
+			failures++
+			continue
+		}
+		if err := emit(o.table, *format, *outDir); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		if *format == "text" && *outDir == "" {
+			fmt.Printf("(%s in %.1fs)\n\n", name, o.took.Seconds())
+		}
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "palsweep: %d experiments, %d simulations (%d cache hits), %d workers, %.1fs total\n",
+			len(names)-failures, st.Completed, st.CacheHits, pool.Workers(), time.Since(start).Seconds())
+	}
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// resolveExperiments expands the -experiments flag into registry names,
+// preserving order and dropping duplicates.
+func resolveExperiments(s string) ([]string, error) {
+	if s == "all" {
+		return experiments.Names(), nil
+	}
+	seen := make(map[string]bool)
+	var names []string
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		expanded := []string{tok}
+		if g, ok := groups[tok]; ok {
+			expanded = g
+		}
+		for _, name := range expanded {
+			if experiments.Describe(name) == "" {
+				return nil, fmt.Errorf("unknown experiment %q (try -list)", name)
+			}
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
+	}
+	return names, nil
+}
+
+// progressLoop repaints a one-line progress/ETA summary until done.
+func progressLoop(pool *runner.Pool, names []string, completed *sync.Map, start time.Time, done chan struct{}) {
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+		}
+		finished := 0
+		completed.Range(func(_, _ interface{}) bool { finished++; return true })
+		st := pool.Stats()
+		elapsed := time.Since(start)
+		eta := "?"
+		if finished > 0 && finished < len(names) {
+			remaining := time.Duration(float64(elapsed) / float64(finished) * float64(len(names)-finished))
+			eta = remaining.Truncate(time.Second).String()
+		}
+		// Trailing erase-line clears residue when the line shrinks.
+		fmt.Fprintf(os.Stderr, "\rpalsweep: %d/%d experiments | %d sims done, %d pending, %d cached | elapsed %s eta %s\x1b[K",
+			finished, len(names), st.Completed, st.Submitted-st.Completed, st.CacheHits,
+			elapsed.Truncate(time.Second), eta)
+	}
+}
+
+// emit writes one table to stdout or to <outDir>/<name>.<ext>.
+func emit(t *experiments.Table, format, outDir string) error {
+	render := func(w *os.File) error {
+		switch format {
+		case "text":
+			_, err := fmt.Fprint(w, t.String())
+			return err
+		case "csv":
+			return export.TableCSV(w, t)
+		case "md":
+			return export.TableMarkdown(w, t)
+		case "json":
+			return export.TableJSON(w, t)
+		default:
+			return fmt.Errorf("unknown format %q", format)
+		}
+	}
+	if outDir == "" {
+		return render(os.Stdout)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	ext := map[string]string{"text": "txt", "csv": "csv", "md": "md", "json": "json"}[format]
+	if ext == "" {
+		return fmt.Errorf("unknown format %q", format)
+	}
+	f, err := os.Create(filepath.Join(outDir, t.Name+"."+ext))
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "palsweep: %v\n", err)
+	os.Exit(2)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -16,13 +17,31 @@ import (
 // online re-profiling extension, and the three-level rack locality
 // extension.
 
+// runSiaAblation fans one simulation per Sia trace out through the
+// shared pool and returns the per-trace results in trace order. The
+// tasks are uncached (empty keys): ablation placers are hand-built
+// closures whose configuration has no canonical hash, and caching a
+// mis-keyed run is exactly the hazard the content-addressed cache
+// exists to prevent. configure builds the per-run sim.Config; it is
+// called once per trace inside the worker, so every run gets fresh
+// placer state.
+func runSiaAblation(scale Scale, label string, configure func(idx int) sim.Config) ([]*sim.Result, error) {
+	sweep := runner.NewSweep(Pool())
+	for _, idx := range scale.SiaTraces {
+		idx := idx
+		sweep.Add("", fmt.Sprintf("%s w%d", label, idx), func() (*sim.Result, error) {
+			return sim.Run(configure(idx))
+		})
+	}
+	return sweep.Run(scale.ctx())
+}
+
 // runSiaWithPlacer runs the Sia baseline configuration with an explicit
 // placer, averaged over the scale's traces.
 func runSiaWithPlacer(scale Scale, build func() sim.Placer) (float64, error) {
 	profile := LonghornProfile(SiaTopology().Size())
-	var jcts []float64
-	for _, idx := range scale.SiaTraces {
-		res, err := sim.Run(sim.Config{
+	results, err := runSiaAblation(scale, "ablation", func(idx int) sim.Config {
+		return sim.Config{
 			Topology:            SiaTopology(),
 			Trace:               SiaTrace(idx),
 			Sched:               FIFOSched,
@@ -31,10 +50,13 @@ func runSiaWithPlacer(scale Scale, build func() sim.Placer) (float64, error) {
 			Lacross:             1.5,
 			ModelLacross:        trace.LacrossByModel(),
 			MigrationPenaltySec: DefaultMigrationPenaltySec,
-		})
-		if err != nil {
-			return 0, err
 		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	var jcts []float64
+	for _, res := range results {
 		jcts = append(jcts, stats.Mean(res.JCTs()))
 	}
 	return stats.Mean(jcts), nil
@@ -124,11 +146,10 @@ func AblationHysteresis(scale Scale) (*Table, error) {
 		Header: []string{"variant", "avg JCT (h)", "migrations/job"},
 	}
 	run := func(disable bool) (float64, float64, error) {
-		var jcts, migs []float64
-		for _, idx := range scale.SiaTraces {
+		results, err := runSiaAblation(scale, "ablation_hysteresis", func(idx int) sim.Config {
 			p := core.NewPAL(binned(profile), 1.5, trace.LacrossByModel())
 			p.NoHysteresis = disable
-			res, err := sim.Run(sim.Config{
+			return sim.Config{
 				Topology:            SiaTopology(),
 				Trace:               SiaTrace(idx),
 				Sched:               LASSched,
@@ -137,10 +158,13 @@ func AblationHysteresis(scale Scale) (*Table, error) {
 				Lacross:             1.5,
 				ModelLacross:        trace.LacrossByModel(),
 				MigrationPenaltySec: DefaultMigrationPenaltySec,
-			})
-			if err != nil {
-				return 0, 0, err
 			}
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		var jcts, migs []float64
+		for _, res := range results {
 			jcts = append(jcts, stats.Mean(res.JCTs()))
 			total := 0
 			for _, j := range res.Jobs {
@@ -168,7 +192,7 @@ func AblationHysteresis(scale Scale) (*Table, error) {
 // the online re-profiling extension: the OnlineScorer learns the true
 // node-0 scores from execution feedback, shrinking the cluster-to-sim gap
 // the paper attributes to static profiles.
-func AblationOnline(Scale) (*Table, error) {
+func AblationOnline(scale Scale) (*Table, error) {
 	view, truth := testbedTruth()
 	t := &Table{
 		Name:   "ablation_online",
@@ -177,42 +201,42 @@ func AblationOnline(Scale) (*Table, error) {
 	}
 	base := binned(view)
 
+	// Both variants go through the pool (uncached: the online scorer is
+	// mutable per-run state) so cancellation reaches them; each task
+	// builds its own placer/observer inside the worker.
+	baseConfig := func() sim.Config {
+		return sim.Config{
+			Topology:            SiaTopology(),
+			Trace:               SiaTrace(1),
+			Sched:               LASSched,
+			TrueProfile:         truth,
+			Lacross:             1.5,
+			ModelLacross:        trace.LacrossByModel(),
+			MigrationPenaltySec: DefaultMigrationPenaltySec,
+		}
+	}
+	sweep := runner.NewSweep(Pool())
 	// Static stale profile (the paper's configuration).
-	staticPAL := core.NewPAL(base, 1.5, trace.LacrossByModel())
-	staticRes, err := sim.Run(sim.Config{
-		Topology:            SiaTopology(),
-		Trace:               SiaTrace(1),
-		Sched:               LASSched,
-		Placer:              staticPAL,
-		TrueProfile:         truth,
-		Lacross:             1.5,
-		ModelLacross:        trace.LacrossByModel(),
-		MigrationPenaltySec: DefaultMigrationPenaltySec,
+	sweep.Add("", "ablation_online static", func() (*sim.Result, error) {
+		cfg := baseConfig()
+		cfg.Placer = core.NewPAL(base, 1.5, trace.LacrossByModel())
+		return sim.Run(cfg)
 	})
-	if err != nil {
-		return nil, err
-	}
-
 	// Online: the scorer observes realized slowdowns and corrects.
-	online := core.NewOnlineScorer(base)
-	onlinePAL := core.NewPAL(online, 1.5, trace.LacrossByModel())
-	onlineRes, err := sim.Run(sim.Config{
-		Topology:            SiaTopology(),
-		Trace:               SiaTrace(1),
-		Sched:               LASSched,
-		Placer:              onlinePAL,
-		TrueProfile:         truth,
-		Lacross:             1.5,
-		ModelLacross:        trace.LacrossByModel(),
-		MigrationPenaltySec: DefaultMigrationPenaltySec,
-		Observer:            online,
+	sweep.Add("", "ablation_online online", func() (*sim.Result, error) {
+		online := core.NewOnlineScorer(base)
+		cfg := baseConfig()
+		cfg.Placer = core.NewPAL(online, 1.5, trace.LacrossByModel())
+		cfg.Observer = online
+		return sim.Run(cfg)
 	})
+	results, err := sweep.Run(scale.ctx())
 	if err != nil {
 		return nil, err
 	}
 
-	staticJCT := stats.Mean(staticRes.JCTs())
-	onlineJCT := stats.Mean(onlineRes.JCTs())
+	staticJCT := stats.Mean(results[0].JCTs())
+	onlineJCT := stats.Mean(results[1].JCTs())
 	t.AddRow("PAL, static stale profile", Hours(staticJCT))
 	t.AddRow("PAL, online re-profiling", Hours(onlineJCT))
 	t.Note("online updates recover %s of JCT vs the stale static profile (paper's proposed fix for the cluster/sim gap)",
@@ -236,13 +260,12 @@ func AblationRack(scale Scale) (*Table, error) {
 		Header: []string{"variant", "avg JCT (h)"},
 	}
 	run := func(rack bool) (float64, error) {
-		var jcts []float64
-		for _, idx := range scale.SiaTraces {
+		results, err := runSiaAblation(scale, "ablation_rack", func(idx int) sim.Config {
 			p := core.NewPAL(binned(profile), lacross, nil)
 			if rack {
 				p.EnableRackLevel(lrack)
 			}
-			res, err := sim.Run(sim.Config{
+			return sim.Config{
 				Topology:            topo,
 				Trace:               SiaTrace(idx),
 				Sched:               FIFOSched,
@@ -251,10 +274,13 @@ func AblationRack(scale Scale) (*Table, error) {
 				Lacross:             lacross,
 				Lrack:               lrack,
 				MigrationPenaltySec: DefaultMigrationPenaltySec,
-			})
-			if err != nil {
-				return 0, err
 			}
+		})
+		if err != nil {
+			return 0, err
+		}
+		var jcts []float64
+		for _, res := range results {
 			jcts = append(jcts, stats.Mean(res.JCTs()))
 		}
 		return stats.Mean(jcts), nil

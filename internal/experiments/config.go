@@ -1,13 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/place"
 	"repro/internal/rng"
+	"repro/internal/runner"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -52,19 +54,17 @@ func (p Policy) String() string {
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
-// binCache memoizes the K-Means binning per profile: silhouette K
+// binMemo memoizes the K-Means binning per profile: silhouette K
 // selection is O(n²) per class and every policy run over the same profile
-// would otherwise repeat it.
-var binCache sync.Map // *vprof.Profile -> *vprof.Binned
+// would otherwise repeat it. The single-flight Memo (unlike the old
+// sync.Map) also guarantees concurrent runs over one profile bin it
+// exactly once.
+var binMemo runner.Memo[*vprof.Profile, *vprof.Binned]
 
-// binned returns the (cached) binned view of a profile.
+// binned returns the (cached) binned view of a profile. The returned
+// Binned is shared and read-only.
 func binned(p *vprof.Profile) *vprof.Binned {
-	if v, ok := binCache.Load(p); ok {
-		return v.(*vprof.Binned)
-	}
-	b := vprof.BinProfile(p)
-	binCache.Store(p, b)
-	return b
+	return binMemo.Get(p, func() *vprof.Binned { return vprof.BinProfile(p) })
 }
 
 // RunSpec assembles one simulation of the evaluation.
@@ -156,6 +156,77 @@ func Run(spec RunSpec) (*sim.Result, error) {
 	return sim.Run(cfg)
 }
 
+// sharedPool is the orchestrator every experiment routes its
+// simulations through: GOMAXPROCS workers over a content-addressed
+// result cache, so repeated configurations (the Sia baseline feeds
+// Fig. 11, Fig. 12 and the headline metrics; Fig. 14 and Fig. 19 overlap
+// at 8 jobs/hour) simulate once per process.
+var sharedPool atomic.Pointer[runner.Pool]
+
+func init() {
+	sharedPool.Store(runner.NewPool(0, runner.NewResultCache(0)))
+}
+
+// Pool returns the shared runner pool the experiments execute on.
+func Pool() *runner.Pool {
+	return sharedPool.Load()
+}
+
+// SetPool replaces the shared pool (CLIs use it to honor a -workers
+// flag or install a differently-sized cache) and returns the previous
+// one. Passing nil restores the default configuration.
+func SetPool(p *runner.Pool) *runner.Pool {
+	if p == nil {
+		p = runner.NewPool(0, runner.NewResultCache(0))
+	}
+	return sharedPool.Swap(p)
+}
+
+// label renders the cell coordinates a human needs to locate a failing
+// run: workload, policy, scheduler, penalty.
+func (s RunSpec) label() string {
+	traceName, schedName := "?", "?"
+	if s.Trace != nil {
+		traceName = s.Trace.Name
+	}
+	if s.Sched != nil {
+		schedName = s.Sched.Name()
+	}
+	return fmt.Sprintf("%s %s/%s L%g", traceName, s.Policy, schedName, s.Lacross)
+}
+
+// runSpecs builds and runs one sweep over the specs, optionally keyed
+// for the content-addressed cache.
+func runSpecs(ctx context.Context, label string, specs []RunSpec, cached bool) ([]*sim.Result, error) {
+	sweep := runner.NewSweep(Pool())
+	for _, spec := range specs {
+		spec := spec
+		key := ""
+		if cached {
+			key = spec.Key()
+		}
+		sweep.Add(key, fmt.Sprintf("%s: %s", label, spec.label()),
+			func() (*sim.Result, error) { return Run(spec) })
+	}
+	return sweep.Run(ctx)
+}
+
+// RunAll executes the specs through the shared pool and returns their
+// results in submission order — the parallel, cached equivalent of
+// calling Run in a loop. label prefixes task names in errors and
+// progress output; each task is further identified by its cell
+// coordinates (trace, policy, scheduler, penalty).
+func RunAll(ctx context.Context, label string, specs []RunSpec) ([]*sim.Result, error) {
+	return runSpecs(ctx, label, specs, true)
+}
+
+// RunAllUncached is RunAll without result caching, for runs whose
+// results are not pure functions of their configuration (fig18's
+// wall-clock placement timings).
+func RunAllUncached(ctx context.Context, label string, specs []RunSpec) ([]*sim.Result, error) {
+	return runSpecs(ctx, label, specs, false)
+}
+
 // Scale controls experiment sizes so unit tests can exercise the full
 // pipeline quickly while benches and the CLI run the paper-sized
 // configuration.
@@ -175,6 +246,20 @@ type Scale struct {
 	SiaPenalties []float64
 	// SynergyPenalties is the Fig. 20 sweep.
 	SynergyPenalties []float64
+
+	// Ctx optionally carries cancellation through the experiment runners
+	// into the pool (nil means context.Background()). It rides on Scale
+	// because the registry's Runner signature predates the orchestration
+	// layer and every experiment already threads a Scale.
+	Ctx context.Context
+}
+
+// ctx returns the scale's context, defaulting to Background.
+func (s Scale) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // FullScale is the paper-sized configuration.
@@ -233,36 +318,31 @@ func SynergyTopology() cluster.Topology {
 	return cluster.Topology{NumNodes: SynergyClusterNodes, GPUsPerNode: GPUsPerNode}
 }
 
-// profileCache memoizes the sampled per-cluster-size profiles.
-var profileCache sync.Map // string -> *vprof.Profile
+// profileMemo memoizes the sampled per-cluster-size profiles (the key
+// space is bounded: one entry per generator × cluster size).
+var profileMemo runner.Memo[string, *vprof.Profile]
 
 // LonghornProfile returns a Longhorn-style profile for an n-GPU simulated
 // cluster, produced the way §IV-C describes: generate the full cluster's
 // profile, then sample n GPUs without repetition.
 func LonghornProfile(n int) *vprof.Profile {
 	key := fmt.Sprintf("longhorn-%d", n)
-	if v, ok := profileCache.Load(key); ok {
-		return v.(*vprof.Profile)
-	}
-	full := vprof.GenerateLonghorn(416, ProfileSeed) // 8 cabinets × 13 nodes × 4 GPUs
-	perm := rng.New(ProfileSeed).Split(uint64(n)).Perm(full.NumGPUs())
-	p, err := full.Subsample(key, perm, n)
-	if err != nil {
-		panic(err)
-	}
-	profileCache.Store(key, p)
-	return p
+	return profileMemo.Get(key, func() *vprof.Profile {
+		full := vprof.GenerateLonghorn(416, ProfileSeed) // 8 cabinets × 13 nodes × 4 GPUs
+		perm := rng.New(ProfileSeed).Split(uint64(n)).Perm(full.NumGPUs())
+		p, err := full.Subsample(key, perm, n)
+		if err != nil {
+			panic(err)
+		}
+		return p
+	})
 }
 
 // TestbedProfile returns the 64-GPU Frontera testbed profile (Fig. 8).
 func TestbedProfile() *vprof.Profile {
-	key := "testbed-64"
-	if v, ok := profileCache.Load(key); ok {
-		return v.(*vprof.Profile)
-	}
-	p := vprof.GenerateTestbed(ProfileSeed + 7)
-	profileCache.Store(key, p)
-	return p
+	return profileMemo.Get("testbed-64", func() *vprof.Profile {
+		return vprof.GenerateTestbed(ProfileSeed + 7)
+	})
 }
 
 // SiaTrace returns Sia-Philly workload idx at default parameters.

@@ -130,11 +130,11 @@ func TestSiaResultsComplete(t *testing.T) {
 // Tiresias on the cluster.
 func TestTable04ClusterWorseThanSim(t *testing.T) {
 	for _, pol := range []Policy{Tiresias, PALPolicy} {
-		clusterRes, err := runTestbed(pol, true)
+		clusterRes, err := runTestbed(QuickScale(), pol, true)
 		if err != nil {
 			t.Fatal(err)
 		}
-		simRes, err := runTestbed(pol, false)
+		simRes, err := runTestbed(QuickScale(), pol, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,8 +144,14 @@ func TestTable04ClusterWorseThanSim(t *testing.T) {
 			t.Errorf("%s: cluster JCT %v should exceed sim %v (stale profile)", pol, c, s)
 		}
 	}
-	palC, _ := runTestbed(PALPolicy, true)
-	tirC, _ := runTestbed(Tiresias, true)
+	palC, err := runTestbed(QuickScale(), PALPolicy, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tirC, err := runTestbed(QuickScale(), Tiresias, true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.Mean(palC.JCTs()) >= stats.Mean(tirC.JCTs()) {
 		t.Error("PAL should beat Tiresias on the (simulated) physical cluster")
 	}

@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -16,31 +16,19 @@ type SiaRun struct {
 	Results     map[Policy]*sim.Result
 }
 
-// siaCache memoizes the baseline Sia simulations (Fig. 11, Fig. 12 and
-// the headline metrics all consume the same runs).
-var siaCache sync.Map // string -> []SiaRun
-
-func siaCacheKey(scale Scale) string {
-	return fmt.Sprintf("sia-%v", scale.SiaTraces)
-}
-
-// RunSiaBaseline simulates every Sia-Philly workload of the scale under
-// all six placement policies with FIFO scheduling on the 64-GPU cluster
-// (§V-B's baseline configuration: Longhorn profiles, per-model locality
-// penalties).
-func RunSiaBaseline(scale Scale) ([]SiaRun, error) {
-	key := siaCacheKey(scale)
-	if v, ok := siaCache.Load(key); ok {
-		return v.([]SiaRun), nil
-	}
+// SiaBaselineSpecs enumerates §V-B's baseline grid — every Sia-Philly
+// workload of the scale × every placement policy, FIFO scheduling,
+// 64-GPU cluster, Longhorn profile, per-model locality penalties — in
+// workload-major order. The specs feed the runner pool; the benchmark
+// harness also uses them to measure sequential-vs-parallel wall clock.
+func SiaBaselineSpecs(scale Scale) []RunSpec {
 	profile := LonghornProfile(SiaTopology().Size())
 	modelL := trace.LacrossByModel()
-	runs := make([]SiaRun, 0, len(scale.SiaTraces))
+	specs := make([]RunSpec, 0, len(scale.SiaTraces)*int(numPolicies))
 	for _, idx := range scale.SiaTraces {
 		tr := SiaTrace(idx)
-		run := SiaRun{WorkloadIdx: idx, Results: make(map[Policy]*sim.Result, numPolicies)}
 		for _, pol := range AllPolicies() {
-			res, err := Run(RunSpec{
+			specs = append(specs, RunSpec{
 				Trace:        tr,
 				Topo:         SiaTopology(),
 				Sched:        FIFOSched,
@@ -50,14 +38,32 @@ func RunSiaBaseline(scale Scale) ([]SiaRun, error) {
 				ModelLacross: modelL,
 				Seed:         ExperimentSeed ^ uint64(idx),
 			})
-			if err != nil {
-				return nil, fmt.Errorf("sia workload %d, %s: %w", idx, pol, err)
-			}
-			run.Results[pol] = res
+		}
+	}
+	return specs
+}
+
+// RunSiaBaseline simulates the baseline grid through the runner pool.
+// Results are memoized in the pool's content-addressed cache — keyed on
+// the full run configuration (trace, profile, penalties, seed), not a
+// name string, so a changed scale or penalty can never alias a previous
+// entry — which keeps the repeated consumers (Fig. 11, Fig. 12, the
+// headline metrics) at one simulation per configuration.
+func RunSiaBaseline(scale Scale) ([]SiaRun, error) {
+	results, err := RunAll(scale.ctx(), "sia-baseline", SiaBaselineSpecs(scale))
+	if err != nil {
+		return nil, fmt.Errorf("sia baseline: %w", err)
+	}
+	runs := make([]SiaRun, 0, len(scale.SiaTraces))
+	i := 0
+	for _, idx := range scale.SiaTraces {
+		run := SiaRun{WorkloadIdx: idx, Results: make(map[Policy]*sim.Result, numPolicies)}
+		for _, pol := range AllPolicies() {
+			run.Results[pol] = results[i]
+			i++
 		}
 		runs = append(runs, run)
 	}
-	siaCache.Store(key, runs)
 	return runs, nil
 }
 
@@ -198,24 +204,42 @@ func Fig13(scale Scale) (*Table, error) {
 	for _, pen := range scale.SiaPenalties {
 		t.Header = append(t.Header, fmt.Sprintf("C%.1f", pen))
 	}
-	perPolicy := make(map[Policy][]float64)
+	// Enumerate the penalty × policy × workload grid through the pool;
+	// the trailing per-trace dimension averages into one point per
+	// (penalty, policy) cell.
+	specs := make([]RunSpec, 0, len(scale.SiaPenalties)*len(AllPolicies())*len(scale.SiaTraces))
 	for _, pen := range scale.SiaPenalties {
 		for _, pol := range AllPolicies() {
-			var jcts []float64
 			for _, idx := range scale.SiaTraces {
-				res, err := Run(RunSpec{
+				specs = append(specs, RunSpec{
 					Trace:   SiaTrace(idx),
 					Topo:    SiaTopology(),
 					Sched:   FIFOSched,
 					Policy:  pol,
 					Profile: profile,
 					Lacross: pen,
-					Seed:    ExperimentSeed ^ uint64(idx) ^ uint64(pen*100),
+					// One independent stream per (workload, penalty) cell,
+					// shared across policies so comparisons stay paired.
+					// The textual key avoids the collisions of ad-hoc
+					// integer mixing (uint64(pen*100) conflated close
+					// penalties).
+					Seed: runner.DeriveSeed(ExperimentSeed, fmt.Sprintf("fig13|w%d|pen%g", idx, pen)),
 				})
-				if err != nil {
-					return nil, fmt.Errorf("fig13 penalty %.1f %s w%d: %w", pen, pol, idx, err)
-				}
-				jcts = append(jcts, stats.Mean(res.JCTs()))
+			}
+		}
+	}
+	results, err := RunAll(scale.ctx(), "fig13", specs)
+	if err != nil {
+		return nil, fmt.Errorf("fig13: %w", err)
+	}
+	perPolicy := make(map[Policy][]float64)
+	i := 0
+	for range scale.SiaPenalties {
+		for _, pol := range AllPolicies() {
+			var jcts []float64
+			for range scale.SiaTraces {
+				jcts = append(jcts, stats.Mean(results[i].JCTs()))
+				i++
 			}
 			perPolicy[pol] = append(perPolicy[pol], stats.Mean(jcts))
 		}

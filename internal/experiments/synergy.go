@@ -3,12 +3,14 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
-// runSynergy executes one Synergy simulation.
-func runSynergy(scale Scale, load float64, pol Policy, schedName string, lacross float64, recordUtil bool) (*sim.Result, error) {
+// synergySpec assembles one Synergy simulation of the load/scheduler/
+// penalty grids.
+func synergySpec(scale Scale, load float64, pol Policy, schedName string, lacross float64, recordUtil bool) (RunSpec, error) {
 	var s sim.Scheduler
 	switch schedName {
 	case "fifo":
@@ -18,20 +20,39 @@ func runSynergy(scale Scale, load float64, pol Policy, schedName string, lacross
 	case "srtf":
 		s = SRTFSched
 	default:
-		return nil, fmt.Errorf("experiments: unknown scheduler %q", schedName)
+		return RunSpec{}, fmt.Errorf("experiments: unknown scheduler %q", schedName)
 	}
-	return Run(RunSpec{
-		Trace:        SynergyTrace(load, scale.SynergyNumJobs),
-		Topo:         SynergyTopology(),
-		Sched:        s,
-		Policy:       pol,
-		Profile:      LonghornProfile(SynergyTopology().Size()),
-		Lacross:      lacross,
-		Seed:         ExperimentSeed ^ uint64(load*10) ^ uint64(len(schedName)),
+	return RunSpec{
+		Trace:   SynergyTrace(load, scale.SynergyNumJobs),
+		Topo:    SynergyTopology(),
+		Sched:   s,
+		Policy:  pol,
+		Profile: LonghornProfile(SynergyTopology().Size()),
+		Lacross: lacross,
+		// One independent stream per (scheduler, load) cell, shared
+		// across policies so comparisons stay paired. The old ad-hoc mix
+		// (ExperimentSeed ^ uint64(load*10) ^ uint64(len(schedName)))
+		// collided srtf with fifo — len 4 both — and truncated loads.
+		Seed:         runner.DeriveSeed(ExperimentSeed, fmt.Sprintf("synergy|%s|load%g", schedName, load)),
 		MeasureFirst: scale.SynergyMeasureFirst,
 		MeasureLast:  scale.SynergyMeasureLast,
 		RecordUtil:   recordUtil,
-	})
+	}, nil
+}
+
+// runSynergy executes one Synergy simulation through the pool (single-
+// cell convenience used by the integration tests; the figures enumerate
+// whole grids instead).
+func runSynergy(scale Scale, load float64, pol Policy, schedName string, lacross float64, recordUtil bool) (*sim.Result, error) {
+	spec, err := synergySpec(scale, load, pol, schedName, lacross, recordUtil)
+	if err != nil {
+		return nil, err
+	}
+	results, err := RunAll(scale.ctx(), "synergy", []RunSpec{spec})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
 }
 
 // Fig14 reproduces Figure 14: Synergy average JCT under FIFO as the job
@@ -47,14 +68,27 @@ func Fig14(scale Scale) (*Table, error) {
 	for _, load := range scale.SynergyLoads {
 		t.Header = append(t.Header, fmt.Sprintf("%gj/h", load))
 	}
-	avg := make(map[Policy][]float64)
-	multi := make(map[Policy][]float64)
+	specs := make([]RunSpec, 0, len(scale.SynergyLoads)*len(AllPolicies()))
 	for _, load := range scale.SynergyLoads {
 		for _, pol := range AllPolicies() {
-			res, err := runSynergy(scale, load, pol, "fifo", SynergyLacross, false)
+			spec, err := synergySpec(scale, load, pol, "fifo", SynergyLacross, false)
 			if err != nil {
 				return nil, fmt.Errorf("fig14 load %g %s: %w", load, pol, err)
 			}
+			specs = append(specs, spec)
+		}
+	}
+	results, err := RunAll(scale.ctx(), "fig14", specs)
+	if err != nil {
+		return nil, fmt.Errorf("fig14: %w", err)
+	}
+	avg := make(map[Policy][]float64)
+	multi := make(map[Policy][]float64)
+	i := 0
+	for range scale.SynergyLoads {
+		for _, pol := range AllPolicies() {
+			res := results[i]
+			i++
 			avg[pol] = append(avg[pol], stats.Mean(res.JCTs()))
 			multi[pol] = append(multi[pol], stats.Mean(res.MultiGPUJCTs()))
 		}
@@ -85,17 +119,28 @@ func Fig15(scale Scale) (*Table, error) {
 		Title:  "GPUs in use over time (mean per decile of span), FIFO, 256 GPUs",
 		Header: []string{"load", "policy", "d1", "d2", "d3", "d4", "d5", "d6", "d7", "d8", "d9", "d10", "drain (h)"},
 	}
+	// Both quick and full scales examine the same two loads the paper
+	// plots.
 	loads := []float64{8, 10}
-	if len(scale.SynergyLoads) > 0 && scale.SynergyLoads[0] < 8 {
-		// quick scales keep the same two loads; nothing to adjust
-		loads = []float64{8, 10}
-	}
+	var specs []RunSpec
 	for _, load := range loads {
 		for _, pol := range []Policy{Tiresias, PALPolicy} {
-			res, err := runSynergy(scale, load, pol, "fifo", SynergyLacross, true)
+			spec, err := synergySpec(scale, load, pol, "fifo", SynergyLacross, true)
 			if err != nil {
 				return nil, fmt.Errorf("fig15 load %g %s: %w", load, pol, err)
 			}
+			specs = append(specs, spec)
+		}
+	}
+	results, err := RunAll(scale.ctx(), "fig15", specs)
+	if err != nil {
+		return nil, fmt.Errorf("fig15: %w", err)
+	}
+	i := 0
+	for _, load := range loads {
+		for _, pol := range []Policy{Tiresias, PALPolicy} {
+			res := results[i]
+			i++
 			row := []string{fmt.Sprintf("%gj/h", load), pol.String()}
 			row = append(row, decileMeans(res.UtilSeries)...)
 			row = append(row, Hours(res.Makespan))
@@ -153,14 +198,26 @@ func Fig16and17(scale Scale) (*Table, error) {
 		t.Header = append(t.Header, fmt.Sprintf("%gj/h", load))
 	}
 	for _, schedName := range []string{"las", "srtf"} {
-		avg := make(map[Policy][]float64)
+		specs := make([]RunSpec, 0, len(scale.SchedLoads)*len(AllPolicies()))
 		for _, load := range scale.SchedLoads {
 			for _, pol := range AllPolicies() {
-				res, err := runSynergy(scale, load, pol, schedName, SynergyLacross, false)
+				spec, err := synergySpec(scale, load, pol, schedName, SynergyLacross, false)
 				if err != nil {
 					return nil, fmt.Errorf("fig16/17 %s load %g %s: %w", schedName, load, pol, err)
 				}
-				avg[pol] = append(avg[pol], stats.Mean(res.JCTs()))
+				specs = append(specs, spec)
+			}
+		}
+		results, err := RunAll(scale.ctx(), "fig16_17/"+schedName, specs)
+		if err != nil {
+			return nil, fmt.Errorf("fig16/17 %s: %w", schedName, err)
+		}
+		avg := make(map[Policy][]float64)
+		i := 0
+		for range scale.SchedLoads {
+			for _, pol := range AllPolicies() {
+				avg[pol] = append(avg[pol], stats.Mean(results[i].JCTs()))
+				i++
 			}
 		}
 		for _, pol := range AllPolicies() {
@@ -190,13 +247,25 @@ func Fig19(scale Scale) (*Table, error) {
 		Header: []string{"sched", "policy", "mean wait (h)", "p99 wait (h)", "max wait (h)"},
 	}
 	load := 8.0
+	var specs []RunSpec
 	for _, schedName := range []string{"las", "srtf", "fifo"} {
 		for _, pol := range []Policy{Tiresias, PALPolicy} {
-			res, err := runSynergy(scale, load, pol, schedName, SynergyLacross, false)
+			spec, err := synergySpec(scale, load, pol, schedName, SynergyLacross, false)
 			if err != nil {
 				return nil, fmt.Errorf("fig19 %s %s: %w", schedName, pol, err)
 			}
-			w := res.Waits()
+			specs = append(specs, spec)
+		}
+	}
+	results, err := RunAll(scale.ctx(), "fig19", specs)
+	if err != nil {
+		return nil, fmt.Errorf("fig19: %w", err)
+	}
+	i := 0
+	for _, schedName := range []string{"las", "srtf", "fifo"} {
+		for _, pol := range []Policy{Tiresias, PALPolicy} {
+			w := results[i].Waits()
+			i++
 			t.AddRow(schedName, pol.String(),
 				Hours(stats.Mean(w)), Hours(stats.Percentile(w, 99)), Hours(stats.Max(w)))
 		}
@@ -216,14 +285,26 @@ func Fig20(scale Scale) (*Table, error) {
 	for _, pen := range scale.SynergyPenalties {
 		t.Header = append(t.Header, fmt.Sprintf("C%.1f", pen))
 	}
-	avg := make(map[Policy][]float64)
+	specs := make([]RunSpec, 0, len(scale.SynergyPenalties)*len(AllPolicies()))
 	for _, pen := range scale.SynergyPenalties {
 		for _, pol := range AllPolicies() {
-			res, err := runSynergy(scale, 10, pol, "fifo", pen, false)
+			spec, err := synergySpec(scale, 10, pol, "fifo", pen, false)
 			if err != nil {
 				return nil, fmt.Errorf("fig20 penalty %.1f %s: %w", pen, pol, err)
 			}
-			avg[pol] = append(avg[pol], stats.Mean(res.JCTs()))
+			specs = append(specs, spec)
+		}
+	}
+	results, err := RunAll(scale.ctx(), "fig20", specs)
+	if err != nil {
+		return nil, fmt.Errorf("fig20: %w", err)
+	}
+	avg := make(map[Policy][]float64)
+	i := 0
+	for range scale.SynergyPenalties {
+		for _, pol := range AllPolicies() {
+			avg[pol] = append(avg[pol], stats.Mean(results[i].JCTs()))
+			i++
 		}
 	}
 	for _, pol := range AllPolicies() {

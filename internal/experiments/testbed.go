@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -29,31 +30,39 @@ const (
 	staleGPUCount = 2 // GPUs of node 0 whose Class-A profile is stale
 )
 
+// testbedTruthMemo keeps one shared (view, truth) pair: fig09, fig10
+// and table04 each assemble several cells, and a fresh truth pointer per
+// call would defeat the per-pointer profile-digest memo (re-hashing
+// identical content and growing the memo unboundedly).
+var testbedTruthMemo runner.Memo[string, [2]*vprof.Profile]
+
 // testbedTruth returns (profiledView, clusterTruth): the stale view the
 // policies see and the inflated reality the "cluster" run charges.
 func testbedTruth() (*vprof.Profile, *vprof.Profile) {
-	view := TestbedProfile()
-	// The cluster truth inflates the stale GPUs' Class A scores by
-	// staleFactor; equivalently, the profiled view understates them.
-	// PerturbStaleGPUs divides, so apply it in reverse.
-	gpus := make([]int, staleGPUCount)
-	for i := range gpus {
-		gpus[i] = i // node 0 hosts GPUs 0..GPUsPerNode-1
-	}
-	truth := vprof.PerturbStaleGPUs(view, vprof.ClassA, gpus, 1.0/staleFactor)
-	return view, truth
+	pair := testbedTruthMemo.Get("testbed-truth", func() [2]*vprof.Profile {
+		view := TestbedProfile()
+		// The cluster truth inflates the stale GPUs' Class A scores by
+		// staleFactor; equivalently, the profiled view understates them.
+		// PerturbStaleGPUs divides, so apply it in reverse.
+		gpus := make([]int, staleGPUCount)
+		for i := range gpus {
+			gpus[i] = i // node 0 hosts GPUs 0..GPUsPerNode-1
+		}
+		return [2]*vprof.Profile{view, vprof.PerturbStaleGPUs(view, vprof.ClassA, gpus, 1.0/staleFactor)}
+	})
+	return pair[0], pair[1]
 }
 
-// runTestbed runs one (policy, mode) cell of the testbed comparison.
-// cluster=true charges the inflated truth; cluster=false is the pure
-// simulation.
-func runTestbed(pol Policy, clusterMode bool) (*sim.Result, error) {
+// testbedSpec assembles one (policy, mode) cell of the testbed
+// comparison. cluster=true charges the inflated truth; cluster=false is
+// the pure simulation.
+func testbedSpec(pol Policy, clusterMode bool) RunSpec {
 	view, truth := testbedTruth()
 	profile := view
 	if clusterMode {
 		profile = truth
 	}
-	return Run(RunSpec{
+	return RunSpec{
 		Trace:        SiaTrace(1),
 		Topo:         SiaTopology(),
 		Sched:        LASSched, // the paper uses the Tiresias (LAS) scheduler on Frontera
@@ -63,13 +72,25 @@ func runTestbed(pol Policy, clusterMode bool) (*sim.Result, error) {
 		Lacross:      1.5,
 		ModelLacross: trace.LacrossByModel(),
 		Seed:         ExperimentSeed ^ 0x7E57,
-	})
+	}
+}
+
+// runTestbed executes one testbed cell through the pool: fig09, fig10
+// and table04 all consume the same four (policy, mode) configurations,
+// so the content-addressed cache collapses their twelve requests into
+// four simulations, and Scale.Ctx cancellation reaches them.
+func runTestbed(scale Scale, pol Policy, clusterMode bool) (*sim.Result, error) {
+	results, err := RunAll(scale.ctx(), "testbed", []RunSpec{testbedSpec(pol, clusterMode)})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
 }
 
 // Table04 reproduces Table IV: average JCT on the physical cluster and in
 // simulation for Tiresias and PAL, the percentage improvement, and the
 // cluster-to-simulation difference.
-func Table04(Scale) (*Table, error) {
+func Table04(scale Scale) (*Table, error) {
 	t := &Table{
 		Name:   "table04",
 		Title:  "Physical cluster & simulation avg JCT (hours), Tiresias vs PAL",
@@ -77,11 +98,11 @@ func Table04(Scale) (*Table, error) {
 	}
 	vals := map[Policy][2]float64{}
 	for _, pol := range []Policy{Tiresias, PALPolicy} {
-		clusterRes, err := runTestbed(pol, true)
+		clusterRes, err := runTestbed(scale, pol, true)
 		if err != nil {
 			return nil, fmt.Errorf("table04 cluster %s: %w", pol, err)
 		}
-		simRes, err := runTestbed(pol, false)
+		simRes, err := runTestbed(scale, pol, false)
 		if err != nil {
 			return nil, fmt.Errorf("table04 sim %s: %w", pol, err)
 		}
@@ -101,7 +122,7 @@ func Table04(Scale) (*Table, error) {
 // Fig09 reproduces Figure 9: the cumulative JCT distributions of the
 // cluster and simulation runs for both policies, reported at the CDF
 // fractions the figure spans.
-func Fig09(Scale) (*Table, error) {
+func Fig09(scale Scale) (*Table, error) {
 	t := &Table{
 		Name:   "fig09",
 		Title:  "JCT CDF (hours at fraction of jobs), cluster vs simulation",
@@ -118,7 +139,7 @@ func Fig09(Scale) (*Table, error) {
 		{"PAL (simulation)", PALPolicy, false},
 	}
 	for _, s := range series {
-		res, err := runTestbed(s.pol, s.clusterMode)
+		res, err := runTestbed(scale, s.pol, s.clusterMode)
 		if err != nil {
 			return nil, fmt.Errorf("fig09 %s: %w", s.name, err)
 		}
@@ -134,7 +155,7 @@ func Fig09(Scale) (*Table, error) {
 }
 
 // Fig10 reproduces Figure 10: JCT boxplots for the four testbed series.
-func Fig10(Scale) (*Table, error) {
+func Fig10(scale Scale) (*Table, error) {
 	t := &Table{
 		Name:   "fig10",
 		Title:  "JCT boxplots (hours), cluster vs simulation",
@@ -151,7 +172,7 @@ func Fig10(Scale) (*Table, error) {
 		{"PAL-Simulation", PALPolicy, false},
 	}
 	for _, s := range series {
-		res, err := runTestbed(s.pol, s.clusterMode)
+		res, err := runTestbed(scale, s.pol, s.clusterMode)
 		if err != nil {
 			return nil, fmt.Errorf("fig10 %s: %w", s.name, err)
 		}

@@ -1,0 +1,206 @@
+package runner
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// DefaultCacheCapacity bounds the result cache when the caller does not
+// choose a size. 512 comfortably covers a full paper-scale regeneration
+// (the complete evaluation is a few hundred distinct simulations) while
+// keeping the worst case around a few hundred MB of retained results.
+const DefaultCacheCapacity = 512
+
+// ResultCache is a content-addressed store of simulation results with
+// LRU eviction and single-flight deduplication: concurrent requests for
+// the same key run the computation once and share the outcome. It
+// replaces the ad-hoc sync.Map caches the experiments layer used to
+// keep, which never evicted and were keyed on name strings rather than
+// the full run configuration.
+//
+// Cached values are shared between callers and must be treated as
+// read-only; every consumer in this repository only reads results.
+type ResultCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List               // front = most recently used
+	entries  map[string]*list.Element // key -> element holding *cacheEntry
+	inflight map[string]*flight
+
+	hits, misses int64
+}
+
+// cacheEntry is the LRU list payload.
+type cacheEntry struct {
+	key string
+	res *sim.Result
+}
+
+// flight tracks one in-progress computation so duplicate keys wait for
+// it instead of recomputing.
+type flight struct {
+	done chan struct{}
+	res  *sim.Result
+	err  error
+}
+
+// NewResultCache returns a cache holding at most capacity results.
+// capacity <= 0 selects DefaultCacheCapacity.
+func NewResultCache(capacity int) *ResultCache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &ResultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// CacheStats is a snapshot of hit/miss counters.
+type CacheStats struct {
+	Hits, Misses int64
+	Entries      int
+}
+
+// Stats returns the cache's counters.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+}
+
+// Len returns the number of cached results.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Do returns the cached result for key, or runs compute exactly once
+// across concurrent callers and caches a successful outcome. The second
+// return reports whether the value came from the cache or another
+// caller's in-flight computation (a "hit" in the dedup sense). Errors
+// are propagated to every waiter but never cached, so a failed
+// computation can be retried.
+func (c *ResultCache) Do(key string, compute func() (*sim.Result, error)) (*sim.Result, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-f.done
+		return f.res, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	// The closing of f.done and the inflight cleanup must survive a
+	// panicking compute (the pool already converts panics to errors, but
+	// the cache should not rely on its callers for its own liveness).
+	// When compute never returned, waiters must see an error — not a
+	// (nil, nil) outcome they would dereference — while the panic itself
+	// keeps propagating to the computing caller.
+	returned := false
+	defer func() {
+		if !returned && f.err == nil {
+			f.err = fmt.Errorf("runner: cache computation for key %q panicked", key)
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil && f.res != nil {
+			c.add(key, f.res)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.res, f.err = compute()
+	returned = true
+	return f.res, false, f.err
+}
+
+// Get returns the cached result for key without computing anything.
+func (c *ResultCache) Get(key string) (*sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).res, true
+	}
+	return nil, false
+}
+
+// add inserts a value, evicting the least-recently-used entry when the
+// cache is full. Caller holds c.mu.
+func (c *ResultCache) add(key string, res *sim.Result) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Memo is a small generic single-flight memoization table for values
+// that are expensive to build but few in number (profiles, binned
+// profiles). Unlike ResultCache it never evicts — callers use it for
+// key spaces they know are bounded. The zero value is ready to use.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	mu   sync.Mutex
+	done bool
+	v    V
+}
+
+// Get returns the memoized value for key, computing it at most once even
+// under concurrent access. A panicking compute propagates to its caller
+// and leaves the entry uncomputed (not poisoned with a zero value), so
+// the next Get retries.
+func (m *Memo[K, V]) Get(key K, compute func() V) V {
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = make(map[K]*memoEntry[V])
+	}
+	e, ok := m.m[key]
+	if !ok {
+		e = &memoEntry[V]{}
+		m.m[key] = e
+	}
+	m.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.done {
+		e.v = compute()
+		e.done = true
+	}
+	return e.v
+}
+
+// Len returns the number of memoized keys.
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.m)
+}

@@ -1,0 +1,66 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// Hash builds canonical content-addressed keys. Callers feed every field
+// that can influence a run's result through the typed writers; the
+// length-prefixed, fixed-endian encoding guarantees that distinct field
+// sequences cannot collide by concatenation (e.g. "ab"+"c" vs "a"+"bc").
+// SHA-256 makes accidental collisions a non-concern for any realistic
+// number of cached configurations.
+type Hash struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// NewHash returns an empty canonical hasher.
+func NewHash() *Hash {
+	return &Hash{h: sha256.New()}
+}
+
+// Uint64 appends a fixed-width integer.
+func (h *Hash) Uint64(v uint64) {
+	binary.LittleEndian.PutUint64(h.buf[:], v)
+	h.h.Write(h.buf[:])
+}
+
+// Int appends an int.
+func (h *Hash) Int(v int) { h.Uint64(uint64(int64(v))) }
+
+// Bool appends a boolean.
+func (h *Hash) Bool(v bool) {
+	if v {
+		h.Uint64(1)
+	} else {
+		h.Uint64(0)
+	}
+}
+
+// Float64 appends a float by its exact bit pattern, so keys distinguish
+// values that differ below formatting precision (and -0 from +0).
+func (h *Hash) Float64(v float64) { h.Uint64(math.Float64bits(v)) }
+
+// Floats appends a length-prefixed slice of floats.
+func (h *Hash) Floats(vs []float64) {
+	h.Int(len(vs))
+	for _, v := range vs {
+		h.Float64(v)
+	}
+}
+
+// String appends a length-prefixed string.
+func (h *Hash) String(s string) {
+	h.Int(len(s))
+	h.h.Write([]byte(s))
+}
+
+// Sum returns the hex digest of everything written so far.
+func (h *Hash) Sum() string {
+	return hex.EncodeToString(h.h.Sum(nil))
+}

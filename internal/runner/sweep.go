@@ -1,0 +1,69 @@
+package runner
+
+import (
+	"context"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Sweep accumulates a parameter grid of keyed tasks and executes it
+// through a pool, delivering results in the order the grid was
+// enumerated. Experiments build their grids with ordinary nested loops
+// (policy × load × penalty × trace × seed), Add-ing one task per cell,
+// then Run or Stream the whole sweep; the index handed back by Add is
+// the cell's position in every output.
+type Sweep struct {
+	pool  *Pool
+	tasks []Task
+}
+
+// NewSweep returns an empty sweep over the given pool.
+func NewSweep(pool *Pool) *Sweep {
+	return &Sweep{pool: pool}
+}
+
+// Add appends one task and returns its index in the sweep's outputs.
+// key is the content-addressed identity of the run ("" disables
+// caching); label names the cell in errors and progress output.
+func (s *Sweep) Add(key, label string, run func() (*sim.Result, error)) int {
+	s.tasks = append(s.tasks, Task{Key: key, Label: label, Run: run})
+	return len(s.tasks) - 1
+}
+
+// Len returns the number of accumulated tasks.
+func (s *Sweep) Len() int { return len(s.tasks) }
+
+// Run executes the sweep and returns the results in enumeration order.
+func (s *Sweep) Run(ctx context.Context) ([]*sim.Result, error) {
+	return s.pool.Run(ctx, s.tasks)
+}
+
+// Stream executes the sweep, delivering each result in enumeration order
+// as soon as its contiguous prefix has completed. Aggregations that fold
+// results into tables can therefore start consuming while later cells
+// are still simulating.
+func (s *Sweep) Stream(ctx context.Context, deliver func(i int, res *sim.Result) error) error {
+	return s.pool.Stream(ctx, s.tasks, deliver)
+}
+
+// DeriveSeed deterministically derives a per-run seed from a base
+// experiment seed and a stable textual key, via rng.Split. Sweeps use it
+// to give every grid cell an independent, reproducible RNG stream: the
+// derived seed depends only on (base, key), never on enumeration order
+// or worker assignment, which is what keeps an N-worker sweep
+// bit-identical to a serial one.
+func DeriveSeed(base uint64, key string) uint64 {
+	// FNV-1a folds the key to a 64-bit label; Split mixes the label into
+	// the base seed's stream without perturbing adjacent labels.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	label := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		label ^= uint64(key[i])
+		label *= prime64
+	}
+	return rng.New(base).Split(label).Uint64()
+}
