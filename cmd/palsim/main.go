@@ -1,11 +1,19 @@
-// Command palsim runs a single cluster-scheduling simulation with
-// explicit knobs: trace family, cluster size, scheduler, placement policy,
-// locality penalty. It prints the aggregate metrics the paper reports.
+// Command palsim runs a single cluster-scheduling simulation, either
+// from explicit knobs (trace family, cluster size, scheduler, placement
+// policy, locality penalty) or from a declarative scenario spec. It
+// prints the aggregate metrics the paper reports.
 //
 // Examples:
 //
 //	palsim -trace sia -workload 5 -policy pal -sched fifo
 //	palsim -trace synergy -load 10 -jobs 800 -policy tiresias -lacross 1.7
+//	palsim -scenario examples/scenario/spec.json
+//	palsim -scenario spec.json -dump-trace workload.json   # save the generated workload for replay
+//
+// With -scenario, the whole configuration comes from the JSON spec
+// (internal/scenario documents the format) and the other
+// simulation-shaping flags are rejected to prevent silently-ignored
+// knobs.
 package main
 
 import (
@@ -16,7 +24,9 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/scenario"
 	"repro/internal/sched"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -36,8 +46,19 @@ func main() {
 		utilize   = flag.Bool("util", false, "print the GPUs-in-use series (deciles)")
 		events    = flag.Int("events", 0, "print the first N lifecycle events")
 		asJSON    = flag.Bool("json", false, "print aggregate metrics as JSON")
+		scenPath  = flag.String("scenario", "", "run a declarative scenario spec (JSON) instead of the flag-built configuration")
+		dumpTrace = flag.String("dump-trace", "", "with -scenario: save the scenario's workload as JSON for replay via a file-sourced spec")
 	)
 	flag.Parse()
+
+	if *scenPath != "" {
+		runScenario(*scenPath, *dumpTrace, *asJSON, *events, *utilize)
+		return
+	}
+	if *dumpTrace != "" {
+		fmt.Fprintln(os.Stderr, "palsim: -dump-trace requires -scenario")
+		os.Exit(2)
+	}
 
 	pol, ok := policyByName(*policy)
 	if !ok {
@@ -100,10 +121,90 @@ func main() {
 		return
 	}
 
+	header := fmt.Sprintf("trace=%s jobs=%d cluster=%d GPUs policy=%s sched=%s lacross=%.2f",
+		tr.Name, len(tr.Jobs), topo.Size(), pol, s.Name(), *lacross)
+	printMetrics(header, res, *events, *utilize)
+}
+
+// runScenario executes a declarative scenario spec end to end.
+// -events and -util are output-shaping flags, not configuration, so
+// they are honored by switching the spec's recording knobs on.
+func runScenario(path, dumpTrace string, asJSON bool, events int, utilize bool) {
+	// The spec owns the whole configuration; a flag-built knob alongside
+	// it would be silently ignored, so reject the combination.
+	conflicting := map[string]bool{
+		"trace": true, "workload": true, "load": true, "jobs": true,
+		"policy": true, "sched": true, "nodes": true, "lacross": true,
+		"per-model-lacross": true, "seed": true,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if conflicting[f.Name] {
+			fmt.Fprintf(os.Stderr, "palsim: -%s conflicts with -scenario (the spec sets it)\n", f.Name)
+			os.Exit(2)
+		}
+	})
+
+	spec, err := scenario.LoadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+		os.Exit(2)
+	}
+	if events > 0 {
+		spec.Engine.RecordEvents = true
+	}
+	if utilize {
+		spec.Engine.RecordUtilization = true
+	}
+	built, err := spec.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+		os.Exit(2)
+	}
+	if dumpTrace != "" {
+		f, err := os.Create(dumpTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := built.Trace.Save(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palsim: dump-trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "palsim: saved %d-job workload to %s\n", len(built.Trace.Jobs), dumpTrace)
+	}
+	res, err := built.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+		os.Exit(1)
+	}
+	if asJSON {
+		if err := export.ResultJSON(os.Stdout, res); err != nil {
+			fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	header := fmt.Sprintf("scenario=%s trace=%s jobs=%d cluster=%d GPUs policy=%s sched=%s lacross=%.2f key=%s",
+		spec.Name, built.Trace.Name, len(built.Trace.Jobs), built.Topo.Size(),
+		spec.Policy.Name, spec.Sched.Name, spec.Locality.Lacross, built.Key()[:12])
+	printMetrics(header, res, events, utilize || spec.Engine.RecordUtilization)
+}
+
+// printMetrics renders the aggregate metric block shared by the
+// flag-built and scenario paths.
+func printMetrics(header string, res *sim.Result, events int, utilize bool) {
 	jcts := res.JCTs()
 	waits := res.Waits()
-	fmt.Printf("trace=%s jobs=%d cluster=%d GPUs policy=%s sched=%s lacross=%.2f\n",
-		tr.Name, len(tr.Jobs), topo.Size(), pol, s.Name(), *lacross)
+	fmt.Println(header)
+	if res.Truncated {
+		fmt.Printf("  TRUNCATED at %d rounds: %d jobs unfinished; metrics cover completed jobs only\n",
+			res.Rounds, res.Unfinished)
+	}
 	fmt.Printf("  avg JCT      %10.1f s (%.2f h)\n", stats.Mean(jcts), stats.Mean(jcts)/3600)
 	fmt.Printf("  p50 JCT      %10.1f s\n", stats.Percentile(jcts, 50))
 	fmt.Printf("  p99 JCT      %10.1f s\n", stats.Percentile(jcts, 99))
@@ -111,17 +212,17 @@ func main() {
 	fmt.Printf("  makespan     %10.1f s (%.2f h)\n", res.Makespan, res.Makespan/3600)
 	fmt.Printf("  utilization  %10.2f%%\n", 100*res.Utilization)
 	fmt.Printf("  rounds       %10d\n", res.Rounds)
-	if *events > 0 {
+	if events > 0 {
 		fmt.Println("  events:")
 		for i, ev := range res.Events {
-			if i >= *events {
+			if i >= events {
 				fmt.Printf("    ... (%d more)\n", len(res.Events)-i)
 				break
 			}
 			fmt.Printf("    %s\n", ev)
 		}
 	}
-	if *utilize && len(res.UtilSeries) > 0 {
+	if utilize && len(res.UtilSeries) > 0 {
 		fmt.Printf("  in-use (deciles):")
 		n := len(res.UtilSeries)
 		for d := 0; d < 10; d++ {

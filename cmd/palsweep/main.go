@@ -19,6 +19,13 @@
 //	palsweep -experiments fig11,fig14 -workers 8 -scale quick
 //	palsweep -experiments all -scale full -format csv -out results/
 //	palsweep -experiments sia -workers 1   # fig11,fig12,fig13,headline
+//	palsweep -scenario a.json,b.json,c.json -workers 8
+//
+// With -scenario, each named declarative spec (internal/scenario
+// documents the format) becomes one simulation fanned out over the same
+// worker pool, cached under its canonical content hash — so re-sweeping
+// an unchanged spec, or naming the same scenario twice, simulates once
+// — and summarized as one row of a single "scenarios" table.
 //
 // Ctrl-C cancels the sweep: in-flight simulations finish, queued ones
 // never start.
@@ -40,6 +47,9 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/export"
 	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
 // groups name convenient experiment subsets.
@@ -53,6 +63,7 @@ var groups = map[string][]string{
 func main() {
 	var (
 		expFlag  = flag.String("experiments", "all", "comma-separated experiment IDs, group names (sia, synergy, testbed, ablation) or \"all\"")
+		scenFlag = flag.String("scenario", "", "comma-separated scenario spec files to sweep instead of registered experiments")
 		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		scale    = flag.String("scale", "full", "experiment scale: full or quick")
 		format   = flag.String("format", "text", "output format: text, csv, md, json")
@@ -79,18 +90,33 @@ func main() {
 		return
 	}
 
-	names, err := resolveExperiments(*expFlag)
-	if err != nil {
-		fatal(err)
+	if *scenFlag != "" {
+		// The specs own the whole configuration; an experiment selection
+		// or scale alongside them would be silently ignored, so reject
+		// the combination (same policy as palsim's -scenario).
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "experiments" || f.Name == "scale" {
+				fatal(fmt.Errorf("-%s conflicts with -scenario (the specs set the configuration)", f.Name))
+			}
+		})
 	}
+
+	var names []string
 	var sc experiments.Scale
-	switch *scale {
-	case "full":
-		sc = experiments.FullScale()
-	case "quick":
-		sc = experiments.QuickScale()
-	default:
-		fatal(fmt.Errorf("unknown scale %q (want full or quick)", *scale))
+	if *scenFlag == "" {
+		var err error
+		names, err = resolveExperiments(*expFlag)
+		if err != nil {
+			fatal(err)
+		}
+		switch *scale {
+		case "full":
+			sc = experiments.FullScale()
+		case "quick":
+			sc = experiments.QuickScale()
+		default:
+			fatal(fmt.Errorf("unknown scale %q (want full or quick)", *scale))
+		}
 	}
 	switch *format {
 	case "text", "csv", "md", "json":
@@ -115,6 +141,10 @@ func main() {
 	experiments.SetPool(pool)
 
 	start := time.Now()
+	if *scenFlag != "" {
+		runScenarioSweep(ctx, pool, strings.Split(*scenFlag, ","), *format, *outDir, *quiet, start)
+		return
+	}
 	progressDone := make(chan struct{})
 	progressExited := make(chan struct{})
 	var completedExps sync.Map // name -> struct{}
@@ -181,6 +211,74 @@ func main() {
 	}
 	if failures > 0 {
 		os.Exit(1)
+	}
+}
+
+// runScenarioSweep fans declarative scenario specs out over the worker
+// pool — each keyed by its canonical content hash, so duplicate or
+// previously-run configurations hit the result cache — and renders one
+// summary table with a row per scenario.
+func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, format, outDir string, quiet bool, start time.Time) {
+	sweep := runner.NewSweep(pool)
+	var builds []*scenario.Built
+	var specPaths []string
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		spec, err := scenario.LoadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		built, err := spec.Build()
+		if err != nil {
+			fatal(err)
+		}
+		builds = append(builds, built)
+		specPaths = append(specPaths, path)
+		run := built // capture per iteration for the task closure
+		sweep.Add(built.Key(), fmt.Sprintf("scenario %s (%s)", spec.Name, path),
+			func() (*sim.Result, error) { return run.Run() })
+	}
+	if len(builds) == 0 {
+		fatal(fmt.Errorf("no scenario specs given"))
+	}
+	results, err := sweep.Run(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "palsweep: cancelled")
+			os.Exit(1)
+		}
+		fatal(err)
+	}
+
+	table := &experiments.Table{
+		Name:  "scenarios",
+		Title: "declarative scenario sweep",
+		Header: []string{"scenario", "workload", "jobs", "gpus", "policy", "sched",
+			"avg_jct_s", "p50_jct_s", "p99_jct_s", "mean_wait_s", "makespan_h", "util_pct", "rounds", "truncated"},
+	}
+	for i, b := range builds {
+		res := results[i]
+		jcts := res.JCTs()
+		truncated := ""
+		if res.Truncated {
+			truncated = fmt.Sprintf("yes (%d unfinished)", res.Unfinished)
+		}
+		table.AddRowf(b.Spec.Name, b.Trace.Name, len(b.Trace.Jobs), b.Topo.Size(),
+			b.Spec.Policy.Name, b.Spec.Sched.Name,
+			stats.Mean(jcts), stats.Percentile(jcts, 50), stats.Percentile(jcts, 99),
+			stats.Mean(res.Waits()), res.Makespan/3600, 100*res.Utilization, res.Rounds, truncated)
+		table.Note("%s: key %s (%s)", b.Spec.Name, b.Key()[:16], specPaths[i])
+	}
+	if err := emit(table, format, outDir); err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		st := pool.Stats()
+		fmt.Fprintf(os.Stderr, "palsweep: %d scenarios, %d simulations (%d cache hits), %d workers, %.1fs total\n",
+			len(builds), st.Completed, st.CacheHits, pool.Workers(), time.Since(start).Seconds())
 	}
 }
 

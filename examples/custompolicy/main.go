@@ -1,8 +1,15 @@
 // Custom policy: the engine's Placer interface makes new placement
 // policies pluggable. This example implements "Striped" placement — round
 // robin across nodes, a strategy some clusters use to balance thermals —
-// and races it against PAL on the same trace, demonstrating how to slot a
+// registers it in the shared placement registry (internal/place), and
+// races it against PAL on the same trace, demonstrating how to slot a
 // user-defined policy into the evaluation harness.
+//
+// Extension beyond the paper's figures: it adds a seventh policy to the
+// six-way comparison of §IV-A1 (Figs. 11-20), on the Fig. 11 Sia-Philly
+// setting. Once registered, a custom policy is also addressable by name
+// from declarative scenario specs (internal/scenario) — data, not code,
+// selects it.
 //
 //	go run ./examples/custompolicy
 package main
@@ -66,6 +73,12 @@ func (s *Striped) PlaceRound(c *cluster.Cluster, need []*sim.Job, _ float64) map
 }
 
 func main() {
+	// Register the custom policy so it is constructible by name — from
+	// here, from CLI flags, and from scenario specs.
+	place.Register("striped", func(place.BuildEnv) (sim.Placer, error) {
+		return &Striped{}, nil
+	})
+
 	topo := cluster.Topology{NumNodes: 16, GPUsPerNode: 4}
 	profile := vprof.GenerateLonghorn(topo.Size(), 7)
 	binned := vprof.BinProfile(profile)
@@ -90,11 +103,15 @@ func main() {
 		return stats.Mean(res.JCTs())
 	}
 
+	striped, err := place.Build("striped", place.BuildEnv{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	results := []struct {
 		name string
 		jct  float64
 	}{
-		{"Striped (custom)", run(&Striped{})},
+		{"Striped (custom)", run(striped)},
 		{"Tiresias", run(place.NewPacked(true, 3))},
 		{"PAL", run(core.NewPAL(binned, 1.5, nil))},
 	}

@@ -2,6 +2,10 @@
 // profile, schedule a tiny workload under Tiresias (Packed-Sticky) and
 // PAL, and compare job completion times.
 //
+// Not tied to one paper figure: a minimal end-to-end tour of the
+// Equation 1 slowdown machinery (§III) that every figure of the
+// evaluation (Figs. 9-20, Table IV) builds on, at toy scale.
+//
 //	go run ./examples/quickstart
 package main
 

@@ -6,6 +6,10 @@
 // model where crossing a rack is much more expensive than crossing a
 // node inside the rack.
 //
+// Extension beyond the paper's figures: the paper evaluates only the
+// two-level model (all of Figs. 11-20); no published figure corresponds
+// to the three-level comparison printed here.
+//
 //	go run ./examples/rack
 package main
 

@@ -6,6 +6,11 @@
 // per-rank step-time telemetry — and shows the learned scores converging
 // to the truth.
 //
+// Extension beyond the paper's figures: it reproduces the *incident* of
+// §V-A (Fig. 10's workload-1 outlier) and implements the online-update
+// future work the section proposes, which the paper itself does not
+// evaluate.
+//
 //	go run ./examples/reprofile
 package main
 

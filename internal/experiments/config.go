@@ -6,7 +6,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/place"
 	"repro/internal/rng"
 	"repro/internal/runner"
@@ -106,27 +105,61 @@ type RunSpec struct {
 // not free).
 const DefaultMigrationPenaltySec = 10
 
-// buildPlacer constructs the placement policy of the spec.
+// RegistryName returns the policy's name in the placement registry
+// (internal/place), the vocabulary scenario specs and CLI flags use.
+func (p Policy) RegistryName() string {
+	switch p {
+	case RandomSticky:
+		return "random-sticky"
+	case RandomNonSticky:
+		return "random-non-sticky"
+	case Gandiva:
+		return "packed-non-sticky"
+	case Tiresias:
+		return "packed-sticky"
+	case PMFirst:
+		return "pm-first"
+	case PALPolicy:
+		return "pal"
+	}
+	panic(fmt.Sprintf("experiments: unknown policy %d", int(p)))
+}
+
+// policySeed derives the per-policy RNG seed. The XOR constants predate
+// the registry and are load-bearing: they keep every recorded
+// experiment value and every content-addressed cache key stable.
+func policySeed(p Policy, seed uint64) uint64 {
+	switch p {
+	case RandomSticky:
+		return seed ^ 0xDEC0
+	case RandomNonSticky:
+		return seed ^ 0xDEC1
+	case Gandiva:
+		return seed ^ 0xDEC2
+	case Tiresias:
+		return seed ^ 0xDEC3
+	}
+	return seed
+}
+
+// buildPlacer constructs the placement policy of the spec through the
+// shared placement registry, so the experiments layer exercises exactly
+// the construction path scenario specs use.
 func buildPlacer(spec RunSpec) sim.Placer {
 	view := spec.ProfiledView
 	if view == nil {
 		view = spec.Profile
 	}
-	switch spec.Policy {
-	case RandomSticky:
-		return place.NewRandom(true, spec.Seed^0xDEC0)
-	case RandomNonSticky:
-		return place.NewRandom(false, spec.Seed^0xDEC1)
-	case Gandiva:
-		return place.NewPacked(false, spec.Seed^0xDEC2)
-	case Tiresias:
-		return place.NewPacked(true, spec.Seed^0xDEC3)
-	case PMFirst:
-		return core.NewPMFirst(binned(view))
-	case PALPolicy:
-		return core.NewPAL(binned(view), spec.Lacross, spec.ModelLacross)
+	placer, err := place.Build(spec.Policy.RegistryName(), place.BuildEnv{
+		Scores:       binned(view),
+		Lacross:      spec.Lacross,
+		ModelLacross: spec.ModelLacross,
+		Seed:         policySeed(spec.Policy, spec.Seed),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
 	}
-	panic(fmt.Sprintf("experiments: unknown policy %d", int(spec.Policy)))
+	return placer
 }
 
 // Run executes one simulation.
@@ -196,7 +229,11 @@ func (s RunSpec) label() string {
 }
 
 // runSpecs builds and runs one sweep over the specs, optionally keyed
-// for the content-addressed cache.
+// for the content-addressed cache. A truncated run (MaxRounds hit) is
+// promoted to an error here: figure/table runners aggregate blindly,
+// and partial metrics must never flow into a published table — the
+// scenario layer, which has a "truncated" column, is the surface that
+// reports truncation as data.
 func runSpecs(ctx context.Context, label string, specs []RunSpec, cached bool) ([]*sim.Result, error) {
 	sweep := runner.NewSweep(Pool())
 	for _, spec := range specs {
@@ -205,8 +242,16 @@ func runSpecs(ctx context.Context, label string, specs []RunSpec, cached bool) (
 		if cached {
 			key = spec.Key()
 		}
-		sweep.Add(key, fmt.Sprintf("%s: %s", label, spec.label()),
-			func() (*sim.Result, error) { return Run(spec) })
+		cell := spec.label()
+		sweep.Add(key, fmt.Sprintf("%s: %s", label, cell),
+			func() (*sim.Result, error) {
+				res, err := Run(spec)
+				if err == nil && res.Truncated {
+					return nil, fmt.Errorf("%s: truncated at MaxRounds with %d unfinished jobs",
+						cell, res.Unfinished)
+				}
+				return res, err
+			})
 	}
 	return sweep.Run(ctx)
 }

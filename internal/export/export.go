@@ -95,7 +95,10 @@ func escapeCells(cells []string) []string {
 	return out
 }
 
-// resultJSON is the archival shape of one simulation result.
+// resultJSON is the archival shape of one simulation result. Truncation
+// is part of the archival record: a run that stopped at the MaxRounds
+// cap reports metrics over completed jobs only, and an archived result
+// must say so.
 type resultJSON struct {
 	Jobs        int     `json:"jobs"`
 	Measured    int     `json:"measured"`
@@ -106,6 +109,8 @@ type resultJSON struct {
 	Makespan    float64 `json:"makespan_sec"`
 	Utilization float64 `json:"utilization"`
 	Rounds      int     `json:"rounds"`
+	Truncated   bool    `json:"truncated,omitempty"`
+	Unfinished  int     `json:"unfinished,omitempty"`
 }
 
 // ResultJSON writes the aggregate metrics of a simulation result.
@@ -123,6 +128,8 @@ func ResultJSON(w io.Writer, res *sim.Result) error {
 		Makespan:    res.Makespan,
 		Utilization: res.Utilization,
 		Rounds:      res.Rounds,
+		Truncated:   res.Truncated,
+		Unfinished:  res.Unfinished,
 	})
 }
 

@@ -1,0 +1,319 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/internal/cluster"
+	// Imported for its init side effect: core registers "pm-first" and
+	// "pal" in the placement registry, and scenario specs must resolve
+	// those names even in binaries that use no other part of core.
+	_ "repro/internal/core"
+	"repro/internal/place"
+	"repro/internal/rng"
+	"repro/internal/runner"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vprof"
+)
+
+// defaultProfileSeed matches the experiments layer's ProfileSeed, so a
+// scenario over a longhorn profile of the same size experiences the
+// exact per-GPU scores the paper-figure runners use.
+// defaultTestbedSeed matches experiments.TestbedProfile's shifted seed
+// (ProfileSeed + 7), so the "testbed" source reproduces the Fig. 8
+// profile exactly.
+const (
+	defaultProfileSeed = 0x9A1
+	defaultTestbedSeed = defaultProfileSeed + 7
+)
+
+// fullClusterGPUs is the size of the full generated cluster that
+// longhorn/frontera scenario profiles are sampled from (8 cabinets × 13
+// nodes × 4 GPUs, the paper's Longhorn shape).
+const fullClusterGPUs = 416
+
+// Built is a scenario resolved to concrete simulation inputs. Trace and
+// Profile are immutable and safely shared; Config constructs fresh
+// policy instances per call (placers carry RNG state), so one Built can
+// drive many concurrent runs.
+type Built struct {
+	Spec    *Spec
+	Topo    cluster.Topology
+	Trace   *trace.Trace
+	Profile *vprof.Profile
+}
+
+// Build resolves the spec's cluster, workload and profile. Generation
+// is deterministic in the spec, so building twice — or on two machines
+// — yields identical inputs.
+func (s *Spec) Build() (*Built, error) {
+	topo := cluster.Topology{
+		NumNodes:     s.Cluster.Nodes,
+		GPUsPerNode:  s.Cluster.GPUsPerNode,
+		NodesPerRack: s.Cluster.NodesPerRack,
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	tr, err := s.buildTrace()
+	if err != nil {
+		return nil, err
+	}
+	prof, err := s.buildProfile(topo.Size())
+	if err != nil {
+		return nil, err
+	}
+	if prof.NumGPUs() < topo.Size() {
+		return nil, fmt.Errorf("scenario %s: profile %q covers %d GPUs, cluster has %d",
+			s.Name, prof.Name(), prof.NumGPUs(), topo.Size())
+	}
+	return &Built{Spec: s, Topo: topo, Trace: tr, Profile: prof}, nil
+}
+
+// buildTrace materializes the workload.
+func (s *Spec) buildTrace() (*trace.Trace, error) {
+	w := s.Workload
+	switch w.Source {
+	case "sia-philly":
+		params := trace.DefaultSiaPhillyParams()
+		params.NumJobs = w.NumJobs
+		params.WindowHours = w.WindowHours
+		params.Seed = w.Seed
+		return trace.SiaPhilly(params, w.Workload), nil
+	case "synergy":
+		params := trace.DefaultSynergyParams(w.JobsPerHour)
+		params.NumJobs = w.NumJobs
+		params.Seed = w.Seed
+		return trace.Synergy(params), nil
+	case "synthetic":
+		return trace.Synth(s.synthParams())
+	case "file":
+		f, err := os.Open(w.Path)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: workload: %w", s.Name, err)
+		}
+		defer f.Close()
+		tr, err := trace.Load(f)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: workload %s: %w", s.Name, w.Path, err)
+		}
+		return tr, nil
+	}
+	return nil, fmt.Errorf("scenario %s: unknown workload source %q", s.Name, w.Source)
+}
+
+// profileMemo caches generated profiles per (source, gpus, seed):
+// generation plus subsampling is cheap, but scenarios fanned out over a
+// pool build repeatedly and profiles are immutable.
+var profileMemo runner.Memo[string, *vprof.Profile]
+
+// buildProfile materializes the variability profile, sized to cover the
+// cluster.
+func (s *Spec) buildProfile(gpus int) (*vprof.Profile, error) {
+	p := s.Profile
+	switch p.Source {
+	case "longhorn", "frontera":
+		if gpus > fullClusterGPUs {
+			return nil, fmt.Errorf("scenario %s: %s profiles cover at most %d GPUs, cluster has %d",
+				s.Name, p.Source, fullClusterGPUs, gpus)
+		}
+		key := fmt.Sprintf("%s-%d-%d", p.Source, gpus, p.Seed)
+		var err error
+		prof := profileMemo.Get(key, func() *vprof.Profile {
+			// The paper's methodology (§IV-C): profile the full cluster,
+			// then sample the simulated cluster's GPUs without repetition.
+			var full *vprof.Profile
+			if p.Source == "longhorn" {
+				full = vprof.GenerateLonghorn(fullClusterGPUs, p.Seed)
+			} else {
+				full = vprof.GenerateFrontera(fullClusterGPUs, p.Seed)
+			}
+			perm := rng.New(p.Seed).Split(uint64(gpus)).Perm(full.NumGPUs())
+			sub, serr := full.Subsample(key, perm, gpus)
+			if serr != nil {
+				err = serr
+				return nil
+			}
+			return sub
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		return prof, nil
+	case "testbed":
+		if gpus > 64 {
+			return nil, fmt.Errorf("scenario %s: the testbed profile covers 64 GPUs, cluster has %d", s.Name, gpus)
+		}
+		return profileMemo.Get(fmt.Sprintf("testbed-%d", p.Seed), func() *vprof.Profile {
+			return vprof.GenerateTestbed(p.Seed)
+		}), nil
+	case "file":
+		f, err := os.Open(p.Path)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: profile: %w", s.Name, err)
+		}
+		defer f.Close()
+		prof, err := vprof.Load(f)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: profile %s: %w", s.Name, p.Path, err)
+		}
+		return prof, nil
+	}
+	return nil, fmt.Errorf("scenario %s: unknown profile source %q", s.Name, p.Source)
+}
+
+// binMemo caches the silhouette K-Means binning per profile, mirroring
+// the experiments layer: binning is O(n²) per class and profiles are
+// shared immutable values.
+var binMemo runner.Memo[*vprof.Profile, *vprof.Binned]
+
+// Config assembles a sim.Config for the built scenario. Each call
+// constructs fresh scheduler, placer and admission instances — placers
+// hold RNG state, so sharing one across runs would couple them.
+func (b *Built) Config() (sim.Config, error) {
+	s := b.Spec
+	schedPolicy, err := sched.Build(s.Sched.Name, s.Sched.Params)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	var modelLacross map[string]float64
+	if s.Locality.PerModel {
+		modelLacross = trace.LacrossByModel()
+	}
+	placer, err := place.Build(s.Policy.Name, place.BuildEnv{
+		Scores:       binMemo.Get(b.Profile, func() *vprof.Binned { return vprof.BinProfile(b.Profile) }),
+		Lacross:      s.Locality.Lacross,
+		ModelLacross: modelLacross,
+		Lrack:        s.Locality.Lrack,
+		Seed:         runner.DeriveSeed(s.Seed, "scenario/placer/"+s.Policy.Name),
+	})
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	admit, err := buildAdmission(s.Admission)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	migration := s.Engine.MigrationPenaltySec
+	switch {
+	case migration == 0:
+		migration = defaultMigrationPenaltySec
+	case migration < 0:
+		migration = 0
+	}
+	return sim.Config{
+		Topology:            b.Topo,
+		Trace:               b.Trace,
+		Sched:               schedPolicy,
+		Placer:              placer,
+		Admit:               admit,
+		TrueProfile:         b.Profile,
+		Lacross:             s.Locality.Lacross,
+		ModelLacross:        modelLacross,
+		Lrack:               s.Locality.Lrack,
+		RoundSec:            s.Engine.RoundSec,
+		MaxRounds:           s.Engine.MaxRounds,
+		MeasureFirst:        s.Engine.MeasureFirst,
+		MeasureLast:         s.Engine.MeasureLast,
+		RecordUtilization:   s.Engine.RecordUtilization,
+		RecordEvents:        s.Engine.RecordEvents,
+		MigrationPenaltySec: migration,
+	}, nil
+}
+
+// defaultMigrationPenaltySec mirrors the experiments layer's default
+// checkpoint/restore cost.
+const defaultMigrationPenaltySec = 10
+
+// Run builds a config and executes the simulation once.
+func (b *Built) Run() (*sim.Result, error) {
+	cfg, err := b.Config()
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg)
+}
+
+// Admission registry: tiny (two builtin policies), but a registry for
+// symmetry with sched/place so extensions can name new admission
+// policies from specs.
+var (
+	admissionMu       sync.RWMutex
+	admissionRegistry = map[string]func() sim.Admission{
+		"admit-all":  func() sim.Admission { return sim.AdmitAll{} },
+		"admit-fits": func() sim.Admission { return sim.AdmitFits{} },
+	}
+)
+
+// RegisterAdmission adds an admission-policy builder under the given
+// name, panicking on duplicates.
+func RegisterAdmission(name string, build func() sim.Admission) {
+	admissionMu.Lock()
+	defer admissionMu.Unlock()
+	if _, dup := admissionRegistry[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate admission policy %q", name))
+	}
+	admissionRegistry[name] = build
+}
+
+// AdmissionNames returns the registered admission-policy names, sorted.
+func AdmissionNames() []string {
+	admissionMu.RLock()
+	defer admissionMu.RUnlock()
+	names := make([]string, 0, len(admissionRegistry))
+	for n := range admissionRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func buildAdmission(name string) (sim.Admission, error) {
+	admissionMu.RLock()
+	build, ok := admissionRegistry[name]
+	admissionMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown admission policy %q (have %v)", name, AdmissionNames())
+	}
+	return build(), nil
+}
+
+// Key returns the content-addressed cache key of the built scenario for
+// the runner's result cache: a canonical hash over the normalized spec
+// plus the materialized trace and profile content. Hashing the built
+// content (not just the spec) means file-sourced workloads key on what
+// the file contained, and two specs that materialize identical inputs
+// by different routes share a key only when the whole configuration
+// genuinely matches.
+func (b *Built) Key() string {
+	h := runner.NewHash()
+	h.String("scenario/v1")
+	canon, err := b.Spec.Canonical()
+	if err != nil {
+		// Canonical only fails on a non-serializable spec, which Parse
+		// can never produce; fail the key rather than alias runs.
+		panic(err)
+	}
+	h.String(string(canon))
+	h.String(b.Trace.Name)
+	h.Int(len(b.Trace.Jobs))
+	for _, j := range b.Trace.Jobs {
+		h.Int(j.ID)
+		h.String(j.Model)
+		h.Int(int(j.Class))
+		h.Float64(j.Arrival)
+		h.Int(j.Demand)
+		h.Float64(j.Work)
+	}
+	h.String(b.Profile.Name())
+	h.Int(b.Profile.NumClasses())
+	h.Int(b.Profile.NumGPUs())
+	for c := 0; c < b.Profile.NumClasses(); c++ {
+		h.Floats(b.Profile.ClassScores(vprof.Class(c)))
+	}
+	return h.Sum()
+}

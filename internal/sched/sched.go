@@ -7,7 +7,9 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -107,16 +109,101 @@ func (SRTF) Order(jobs []*sim.Job, _ float64) []*sim.Job {
 	return out
 }
 
-// ByName returns the scheduler with the given name ("fifo", "las",
-// "srtf"), or nil if unknown. Used by the CLIs.
-func ByName(name string) sim.Scheduler {
-	switch name {
-	case "fifo":
-		return FIFO{}
-	case "las":
-		return LAS{}
-	case "srtf":
-		return SRTF{}
+// Builder constructs a scheduler from named numeric parameters (e.g.
+// {"threshold_sec": 14400} for LAS). Builders must reject parameters
+// they do not understand, so a typo in a scenario spec surfaces as an
+// error instead of a silently-default run.
+type Builder func(params map[string]float64) (sim.Scheduler, error)
+
+// registry maps scheduler names to builders. The three paper policies
+// register below; extensions (examples, future policies) add their own
+// with Register and become addressable from scenario specs and CLI
+// flags with no further wiring.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Builder{}
+)
+
+// Register adds a scheduler builder under the given name. It panics on
+// a duplicate name — registration happens in package init, and a
+// collision is a programming error worth failing loudly on.
+func Register(name string, build Builder) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sched: duplicate registration of %q", name))
+	}
+	registry[name] = build
+}
+
+// Build constructs the named scheduler. nil params means defaults.
+func Build(name string, params map[string]float64) (sim.Scheduler, error) {
+	registryMu.RLock()
+	build, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown scheduler %q (have %v)", name, Names())
+	}
+	return build(params)
+}
+
+// Names returns the registered scheduler names in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// noParams rejects any parameters, for schedulers that take none.
+func noParams(name string, params map[string]float64) error {
+	for k := range params {
+		return fmt.Errorf("sched: %s takes no parameters, got %q", name, k)
 	}
 	return nil
+}
+
+func init() {
+	Register("fifo", func(params map[string]float64) (sim.Scheduler, error) {
+		if err := noParams("fifo", params); err != nil {
+			return nil, err
+		}
+		return FIFO{}, nil
+	})
+	Register("las", func(params map[string]float64) (sim.Scheduler, error) {
+		l := LAS{}
+		for k, v := range params {
+			switch k {
+			case "threshold_sec":
+				if v <= 0 {
+					return nil, fmt.Errorf("sched: las threshold_sec=%g, want > 0", v)
+				}
+				l.Threshold = v
+			default:
+				return nil, fmt.Errorf("sched: las does not understand parameter %q", k)
+			}
+		}
+		return l, nil
+	})
+	Register("srtf", func(params map[string]float64) (sim.Scheduler, error) {
+		if err := noParams("srtf", params); err != nil {
+			return nil, err
+		}
+		return SRTF{}, nil
+	})
+}
+
+// ByName returns the scheduler with the given name at default
+// parameters, or nil if unknown. Thin wrapper over Build kept for
+// call sites that have no parameters to pass.
+func ByName(name string) sim.Scheduler {
+	s, err := Build(name, nil)
+	if err != nil {
+		return nil
+	}
+	return s
 }

@@ -1,0 +1,118 @@
+package sim_test
+
+// Benchmarks backing the fast-forward engine's speedup claim. The
+// sparse trace is the target workload: long-running jobs with long
+// stretches where nothing arrives, finishes or moves, so the naive loop
+// burns its time in scheduler sorts and placement bookkeeping that
+// provably cannot change anything. Run with
+//
+//	go test -bench=BenchmarkSim -benchtime=1x ./internal/sim
+//
+// BenchmarkSimFastForwardSpeedup reports the naive/fast ratio directly.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/place"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vprof"
+)
+
+// sparseTrace builds a Philly-like sparse workload: n long jobs arriving
+// hours apart on a small cluster, the regime where almost every round is
+// a pure progress round.
+func sparseTrace(n int) *trace.Trace {
+	jobs := make([]trace.JobSpec, n)
+	for i := range jobs {
+		jobs[i] = trace.JobSpec{
+			ID:      i,
+			Class:   vprof.Class(i % 3),
+			Arrival: float64(i) * 4 * 3600,
+			Demand:  1 + (i%2)*3, // 1 or 4 GPUs
+			Work:    float64(20+i%7) * 3600,
+		}
+	}
+	return &trace.Trace{Name: "sparse-bench", Jobs: jobs}
+}
+
+func sparseConfig(disableFF bool) sim.Config {
+	topo := clusterTopology(8) // 32 GPUs: everything fits, queue stays empty
+	return sim.Config{
+		Topology:           topo,
+		Trace:              sparseTrace(24),
+		Sched:              sched.LAS{},
+		Placer:             place.NewPacked(true, 3),
+		TrueProfile:        vprof.GenerateLonghorn(topo.Size(), 0x9A1),
+		Lacross:            1.5,
+		DisableFastForward: disableFF,
+	}
+}
+
+func runSparse(b *testing.B, disableFF bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sparseConfig(disableFF))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rounds == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+func BenchmarkSimSparseNaive(b *testing.B)       { runSparse(b, true) }
+func BenchmarkSimSparseFastForward(b *testing.B) { runSparse(b, false) }
+
+// BenchmarkSimSiaPhilly measures the dense end: a contended 160-job Sia
+// trace, where fast-forward engages only in the drain phase and the
+// speedup is correspondingly modest. Here as the honest counterpoint to
+// the sparse numbers.
+func BenchmarkSimSiaPhillyFastForward(b *testing.B) { runSia(b, false) }
+func BenchmarkSimSiaPhillyNaive(b *testing.B)       { runSia(b, true) }
+
+func runSia(b *testing.B, disableFF bool) {
+	b.Helper()
+	topo := clusterTopology(16)
+	profile := vprof.GenerateLonghorn(topo.Size(), 0x9A1)
+	tr := trace.SiaPhilly(trace.DefaultSiaPhillyParams(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			Topology:           topo,
+			Trace:              tr,
+			Sched:              sched.FIFO{},
+			Placer:             place.NewPacked(true, 7),
+			TrueProfile:        profile,
+			Lacross:            1.5,
+			DisableFastForward: disableFF,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimFastForwardSpeedup runs the sparse configuration both ways
+// back to back and reports the ratio, so a single -benchtime=1x
+// invocation answers "what does fast-forward buy".
+func BenchmarkSimFastForwardSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := sim.Run(sparseConfig(true)); err != nil {
+			b.Fatal(err)
+		}
+		naive := time.Since(t0)
+		t0 = time.Now()
+		if _, err := sim.Run(sparseConfig(false)); err != nil {
+			b.Fatal(err)
+		}
+		fast := time.Since(t0)
+		b.ReportMetric(naive.Seconds()*1000, "naive-ms")
+		b.ReportMetric(fast.Seconds()*1000, "fast-ms")
+		b.ReportMetric(naive.Seconds()/fast.Seconds(), "speedup")
+	}
+}

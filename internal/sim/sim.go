@@ -13,6 +13,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/cluster"
@@ -164,7 +165,12 @@ type Config struct {
 	RoundSec float64
 
 	// MaxRounds caps the simulation as a runaway guard. Defaults to
-	// 1_000_000 rounds when zero.
+	// 1_000_000 rounds when zero (at the default 300 s round that is
+	// ~9.5 simulated years). Hitting the cap is not an error: the run
+	// stops, Result.Truncated is set, and Result.Unfinished counts the
+	// jobs that never completed, so a sweep over extreme configurations
+	// degrades to an explicitly-flagged partial table instead of losing
+	// the whole run.
 	MaxRounds int
 
 	// MeasureFirst/MeasureLast restrict per-job metrics to a job-ID
@@ -191,8 +197,18 @@ type Config struct {
 	// slowdown every round. This is the hook for the online PM-score
 	// re-profiling extension (§V-A closes by calling for "dynamic online
 	// updates to GPU PM-Scores"): an observing scorer can learn that a
-	// GPU is slower than its static profile claims.
+	// GPU is slower than its static profile claims. Setting an Observer
+	// disables fast-forwarding: the observer contract is one callback per
+	// running job per round.
 	Observer Observer
+
+	// DisableFastForward forces the engine to iterate every round even
+	// when nothing can change (no arrival, no finish, no reallocation).
+	// Fast-forwarding is byte-identical to naive iteration — the
+	// equivalence test in fastforward_test.go pins that down — so this
+	// switch exists only for that test and for benchmarking the naive
+	// loop.
+	DisableFastForward bool
 }
 
 // Observer receives per-round execution feedback. ObserveRound is called
@@ -259,6 +275,16 @@ type Result struct {
 
 	// Events is the lifecycle log (populated when Config.RecordEvents).
 	Events []Event
+
+	// Truncated reports that the run stopped at Config.MaxRounds with
+	// jobs still incomplete. Aggregate metrics then cover only the jobs
+	// that finished; Unfinished counts the rest. Consumers that archive
+	// or tabulate results must surface this flag — a truncated run is a
+	// different quantity than a completed one.
+	Truncated bool
+	// Unfinished is the number of jobs that had not completed when the
+	// run ended (always 0 unless Truncated).
+	Unfinished int
 }
 
 // JCTs returns the measured jobs' completion times.
@@ -292,7 +318,20 @@ func (r *Result) MultiGPUJCTs() []float64 {
 }
 
 // Run executes the simulation to completion and returns its Result. It
-// returns an error if the configuration is invalid or MaxRounds is hit.
+// returns an error if the configuration is invalid; hitting MaxRounds is
+// reported through Result.Truncated, not as an error.
+//
+// The engine fast-forwards through dead time: a round in which no job
+// arrives, finishes, or changes allocation is a pure progress round, and
+// under a sticky placement policy the engine proves that ahead of time
+// and applies the per-job progress updates directly — skipping the
+// scheduler sort, prefix marking and placement machinery — until the
+// next state-changing round. The arithmetic performed per job per round
+// is exactly the naive loop's, in the same order, so results are
+// byte-identical (fastforward_test.go enforces this). Non-sticky
+// placers re-place every running job every round by definition — that
+// per-round re-roll is the behaviour §V-B measures — so they always
+// take the naive path, as does any run with an Observer attached.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Trace == nil || len(cfg.Trace.Jobs) == 0 {
@@ -332,10 +371,9 @@ type engine struct {
 	active      []*Job // arrived, admitted, not finished
 	rejected    int
 
-	busyGPUSeconds float64
-	utilSeries     []UtilSample
-	placeTimes     []float64
-	events         []Event
+	utilSeries []UtilSample
+	placeTimes []float64
+	events     []Event
 }
 
 func (e *engine) run() (*Result, error) {
@@ -349,11 +387,12 @@ func (e *engine) run() (*Result, error) {
 	start := now
 	rounds := 0
 	remaining := len(e.jobs)
+	truncated := false
 
 	for remaining > 0 {
 		if rounds >= cfg.MaxRounds {
-			return nil, fmt.Errorf("sim: exceeded MaxRounds=%d (rounds=%d, remaining=%d)",
-				cfg.MaxRounds, rounds, remaining)
+			truncated = true
+			break
 		}
 		e.admitArrivals(now)
 		if e.rejected > 0 {
@@ -368,8 +407,10 @@ func (e *engine) run() (*Result, error) {
 			// Idle: jump to the next arrival instead of spinning rounds.
 			if e.nextArrival < len(e.jobs) {
 				next := e.jobs[e.nextArrival].Spec.Arrival
-				// Advance in whole rounds to keep the round grid stable.
-				for now+cfg.RoundSec <= next {
+				// Advance in whole rounds to keep the round grid stable
+				// (bailing at MaxRounds so an absurd gap cannot spin past
+				// the cap before the top-of-loop truncation check).
+				for now+cfg.RoundSec <= next && rounds < cfg.MaxRounds {
 					now += cfg.RoundSec
 					rounds++
 				}
@@ -406,9 +447,88 @@ func (e *engine) run() (*Result, error) {
 
 		now += cfg.RoundSec
 		rounds++
+
+		if e.fastForwardable() {
+			now, rounds = e.fastForward(now, rounds)
+		}
 	}
 
-	return e.result(start, now, rounds)
+	res, err := e.result(start, now, rounds)
+	if err != nil {
+		return nil, err
+	}
+	if truncated {
+		res.Truncated = true
+	}
+	return res, nil
+}
+
+// fastForwardable reports whether the rounds ahead are provably pure
+// progress rounds until the next arrival or finish, so the engine may
+// skip the scheduling machinery for them. The conditions:
+//
+//   - the placer is sticky, so every running job is guaranteed to keep
+//     its allocation (a non-sticky placer re-places — and may re-roll
+//     its RNG — every round, which is observable behaviour);
+//   - every active job is running (an empty waiting queue means the
+//     schedulable prefix covers the whole active set no matter how the
+//     scheduler reorders it, so evolving LAS/SRTF priorities cannot
+//     change *which* jobs run);
+//   - no Observer is attached (its contract is one callback per round).
+func (e *engine) fastForwardable() bool {
+	if e.cfg.DisableFastForward || e.cfg.Observer != nil || !e.cfg.Placer.Sticky() {
+		return false
+	}
+	if len(e.active) == 0 {
+		return false
+	}
+	for _, j := range e.active {
+		if j.Alloc == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// fastForward advances through pure progress rounds, stopping at the
+// round in which the next arrival is admitted, a job finishes, or
+// MaxRounds is reached — that round is handed back to the full loop.
+// Each skipped round applies exactly the arithmetic advance would have
+// (Remaining -= RoundSec/slowdown, Attained += RoundSec×demand, one
+// utilization sample), with the slowdown hoisted out of the loop: it is
+// a pure function of the job's unchanged allocation.
+func (e *engine) fastForward(now float64, rounds int) (float64, int) {
+	cfg := e.cfg
+	round := cfg.RoundSec
+	nextArr := math.Inf(1)
+	if e.nextArrival < len(e.jobs) {
+		nextArr = e.jobs[e.nextArrival].Spec.Arrival
+	}
+	sds := make([]float64, len(e.active))
+	inUse := 0
+	for i, j := range e.active {
+		sds[i] = e.slowdown(j)
+		inUse += j.Spec.Demand
+	}
+	for {
+		if rounds >= cfg.MaxRounds || nextArr <= now {
+			return now, rounds
+		}
+		for i, j := range e.active {
+			if j.Remaining*sds[i] <= round {
+				return now, rounds
+			}
+		}
+		for i, j := range e.active {
+			j.Remaining -= round / sds[i]
+			j.Attained += round * float64(j.Spec.Demand)
+		}
+		if cfg.RecordUtilization {
+			e.utilSeries = append(e.utilSeries, UtilSample{Time: now, InUse: inUse})
+		}
+		now += round
+		rounds++
+	}
 }
 
 // admitArrivals moves arrived jobs into the active set, applying
@@ -617,7 +737,6 @@ func (e *engine) advance(prefix []*Job, now float64) int {
 			j.Remaining -= round / sd
 		}
 		j.Attained += wallRun * float64(j.Spec.Demand)
-		e.busyGPUSeconds += wallRun * float64(j.Spec.Demand)
 	}
 	if finished > 0 {
 		// Compact the active list.
@@ -652,13 +771,25 @@ func (e *engine) result(start, end float64, rounds int) (*Result, error) {
 		if j.Done && j.Spec.ID >= first && j.Spec.ID <= last {
 			res.Measured = append(res.Measured, j)
 		}
+		if !j.Done {
+			res.Unfinished++
+		}
 	}
 	firstArrival := e.jobs[0].Spec.Arrival
 	res.Makespan = lastFinish - firstArrival
 	span := lastFinish - firstArrival
 	if span > 0 {
 		capacity := float64(e.cluster.Size()) * span
-		res.Utilization = e.busyGPUSeconds / capacity
+		// Busy GPU-seconds are summed per job in trace order rather than
+		// accumulated round by round: each job's Attained already holds
+		// exactly the round-by-round increments, and a fixed summation
+		// order keeps the float result independent of how many rounds the
+		// engine fast-forwarded through.
+		var busy float64
+		for _, j := range e.jobs {
+			busy += j.Attained
+		}
+		res.Utilization = busy / capacity
 		var ideal float64
 		for _, j := range e.jobs {
 			if j.Done && j.Started {

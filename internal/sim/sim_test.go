@@ -466,10 +466,36 @@ func TestConfigValidation(t *testing.T) {
 }
 
 func TestMaxRoundsGuard(t *testing.T) {
-	cfg := baseConfig(t, []trace.JobSpec{{ID: 0, Arrival: 0, Demand: 1, Work: 1e12}})
+	cfg := baseConfig(t, []trace.JobSpec{
+		{ID: 0, Arrival: 0, Demand: 1, Work: 1e12},
+		{ID: 1, Arrival: 100, Demand: 1, Work: 60},
+	})
 	cfg.MaxRounds = 5
-	if _, err := Run(cfg); err == nil {
-		t.Error("MaxRounds exceeded without error")
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("truncated run must not error: %v", err)
+	}
+	if !res.Truncated {
+		t.Error("MaxRounds exceeded without Truncated flag")
+	}
+	if res.Unfinished != 1 {
+		t.Errorf("Unfinished = %d, want 1 (the 1e12-second job)", res.Unfinished)
+	}
+	if res.Rounds < cfg.MaxRounds {
+		t.Errorf("Rounds = %d, want >= MaxRounds", res.Rounds)
+	}
+	if !res.Jobs[1].Done {
+		t.Error("short job should have completed before truncation")
+	}
+
+	// A completed run must not be flagged.
+	ok := baseConfig(t, []trace.JobSpec{{ID: 0, Arrival: 0, Demand: 1, Work: 100}})
+	full, err := Run(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated || full.Unfinished != 0 {
+		t.Errorf("completed run flagged: truncated=%v unfinished=%d", full.Truncated, full.Unfinished)
 	}
 }
 

@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func synthBase(process ArrivalProcess) SynthParams {
+	return SynthParams{
+		NumJobs:     2000,
+		JobsPerHour: 12,
+		Arrivals:    process,
+		Seed:        0xC0FFEE,
+	}
+}
+
+func TestSynthDeterministicAndValid(t *testing.T) {
+	for _, proc := range []ArrivalProcess{ArrivalPoisson, ArrivalBursty, ArrivalDiurnal} {
+		proc := proc
+		t.Run(string(proc), func(t *testing.T) {
+			a, err := Synth(synthBase(proc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Synth(synthBase(proc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Error("same params produced different traces")
+			}
+			if err := a.Validate(); err != nil {
+				t.Error(err)
+			}
+			if a.Name != "synth-"+string(proc) {
+				t.Errorf("default name %q", a.Name)
+			}
+			// >80% single-GPU under the default Philly mix.
+			if f := a.SingleGPUFraction(); f < 0.75 {
+				t.Errorf("single-GPU fraction %.2f, want >= 0.75", f)
+			}
+		})
+	}
+}
+
+// meanRate returns the realized arrival rate in jobs/hour.
+func meanRate(tr *Trace) float64 {
+	span := tr.Jobs[len(tr.Jobs)-1].Arrival - tr.Jobs[0].Arrival
+	return float64(len(tr.Jobs)-1) / span * 3600
+}
+
+func TestSynthMeanRateMatchesTarget(t *testing.T) {
+	for _, proc := range []ArrivalProcess{ArrivalPoisson, ArrivalBursty, ArrivalDiurnal} {
+		tr, err := Synth(synthBase(proc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := meanRate(tr)
+		if math.Abs(got-12)/12 > 0.15 {
+			t.Errorf("%s: realized rate %.2f jobs/hour, want ~12", proc, got)
+		}
+	}
+}
+
+// windowCounts buckets arrivals into fixed windows, for dispersion and
+// phase tests.
+func windowCounts(tr *Trace, windowSec float64) []float64 {
+	last := tr.Jobs[len(tr.Jobs)-1].Arrival
+	n := int(last/windowSec) + 1
+	counts := make([]float64, n)
+	for _, j := range tr.Jobs {
+		counts[int(j.Arrival/windowSec)]++
+	}
+	return counts
+}
+
+func dispersion(counts []float64) float64 {
+	var sum, sumSq float64
+	for _, c := range counts {
+		sum += c
+	}
+	mean := sum / float64(len(counts))
+	for _, c := range counts {
+		sumSq += (c - mean) * (c - mean)
+	}
+	return sumSq / float64(len(counts)) / mean // variance / mean
+}
+
+func TestSynthBurstyOverdispersed(t *testing.T) {
+	// A Poisson process has index of dispersion ~1; the MMPP must be
+	// clearly overdispersed at the burst timescale.
+	poisson, err := Synth(synthBase(ArrivalPoisson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursty, err := Synth(synthBase(ArrivalBursty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const window = 1800 // one mean burst duration
+	dp := dispersion(windowCounts(poisson, window))
+	db := dispersion(windowCounts(bursty, window))
+	if dp > 2 {
+		t.Errorf("poisson dispersion %.2f, want ~1", dp)
+	}
+	if db < 2*dp {
+		t.Errorf("bursty dispersion %.2f not clearly above poisson %.2f", db, dp)
+	}
+}
+
+func TestSynthDiurnalPhase(t *testing.T) {
+	// Peak-phase windows must see materially more arrivals than
+	// trough-phase windows. Peak of 1+sin is at quarter-period.
+	p := synthBase(ArrivalDiurnal)
+	p.NumJobs = 4000
+	p.PeakToTrough = 4
+	tr, err := Synth(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := 24.0 * 3600
+	var peakN, troughN int
+	for _, j := range tr.Jobs {
+		phase := math.Mod(j.Arrival, period) / period
+		switch {
+		case phase > 0.10 && phase < 0.40: // around the sin peak at 0.25
+			peakN++
+		case phase > 0.60 && phase < 0.90: // around the trough at 0.75
+			troughN++
+		}
+	}
+	if troughN == 0 || float64(peakN)/float64(troughN) < 2 {
+		t.Errorf("peak/trough arrivals = %d/%d, want ratio >= 2", peakN, troughN)
+	}
+}
+
+func TestSynthJobPopulationIndependentOfArrivals(t *testing.T) {
+	// The same seed must yield the same job attributes under every
+	// arrival process — the property that makes load/process sweeps
+	// comparisons of like with like.
+	a, err := Synth(synthBase(ArrivalPoisson))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synth(synthBase(ArrivalDiurnal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Jobs {
+		ja, jb := a.Jobs[i], b.Jobs[i]
+		if ja.Model != jb.Model || ja.Demand != jb.Demand || ja.Work != jb.Work {
+			t.Fatalf("job %d attributes differ across arrival processes: %+v vs %+v", i, ja, jb)
+		}
+	}
+}
+
+func TestSynthValidation(t *testing.T) {
+	bad := []SynthParams{
+		{NumJobs: 0, JobsPerHour: 10},
+		{NumJobs: 10, JobsPerHour: 0},
+		{NumJobs: 10, JobsPerHour: 10, Arrivals: "weekly"},
+		{NumJobs: 10, JobsPerHour: 10, Arrivals: ArrivalBursty, BurstFactor: 20, BurstFraction: 0.5},
+		{NumJobs: 10, JobsPerHour: 10, Demands: []int{1, 2}, DemandWeights: []float64{1}},
+		{NumJobs: 10, JobsPerHour: 10, Demands: []int{0}, DemandWeights: []float64{1}},
+		{NumJobs: 10, JobsPerHour: 10, MinWorkSec: 100, MaxWorkSec: 50},
+	}
+	for i, p := range bad {
+		if _, err := Synth(p); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
