@@ -1,0 +1,245 @@
+// Command palreport aggregates archived metric payloads — the
+// *.metrics.json files `palsim -metrics` and `palsweep -metrics` write —
+// into comparison tables, without re-running a single simulation. It is
+// the reporting half of the telemetry subsystem: palsweep simulates and
+// archives, palreport tabulates.
+//
+// Three tables come out of one invocation:
+//
+//   - metrics_summary: one row per run — measured jobs, avg/P50/P90/P99
+//     JCT, mean wait, utilization, truncation.
+//   - metrics_vs_baseline: policy-vs-policy improvements (the paper's
+//     "PAL improves average JCT by X% over Tiresias" convention:
+//     positive means better than the baseline) for every run against a
+//     chosen baseline run.
+//   - metrics_jct_cdf: the JCT distribution of every run side by side,
+//     read from the archived histograms at fixed percentiles (the raw
+//     material of Fig. 9-style CDF comparisons).
+//
+// Usage:
+//
+//	palreport -in out/                         # all payloads in a directory
+//	palreport -in a.metrics.json,b.metrics.json -format md
+//	palreport -in out/ -baseline sia-tiresias -format csv -out tables/
+//
+// Formats and the -out directory behave exactly like palsweep's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/export"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// cdfPercentiles are the fixed percentiles of the side-by-side CDF table.
+var cdfPercentiles = []float64{10, 25, 50, 75, 90, 95, 99}
+
+func main() {
+	var (
+		in       = flag.String("in", "", "comma-separated payload files, directories or globs (*.metrics.json)")
+		baseline = flag.String("baseline", "", "payload name to compare against (default: the first payload)")
+		format   = flag.String("format", "text", "output format: text, csv, md, json")
+		outDir   = flag.String("out", "", "write one file per table into this directory instead of stdout")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required (point it at a palsweep -metrics directory)"))
+	}
+	switch *format {
+	case "text", "csv", "md", "json":
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text, csv, md or json)", *format))
+	}
+
+	paths, err := expandPayloadArgs(*in)
+	if err != nil {
+		fatal(err)
+	}
+	payloads := make([]*metrics.Payload, 0, len(paths))
+	for _, path := range paths {
+		p, err := metrics.LoadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		if p.Name == "" {
+			p.Name = strings.TrimSuffix(filepath.Base(path), export.MetricsExt)
+		}
+		payloads = append(payloads, p)
+	}
+
+	base := payloads[0]
+	if *baseline != "" {
+		base = nil
+		for _, p := range payloads {
+			if p.Name == *baseline {
+				base = p
+				break
+			}
+		}
+		if base == nil {
+			var names []string
+			for _, p := range payloads {
+				names = append(names, p.Name)
+			}
+			fatal(fmt.Errorf("baseline %q not among loaded payloads %v", *baseline, names))
+		}
+	}
+
+	for _, t := range []*experiments.Table{
+		summaryTable(payloads),
+		comparisonTable(payloads, base),
+		cdfTable(payloads),
+	} {
+		if err := emit(t, *format, *outDir); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// expandPayloadArgs resolves the -in tokens to payload files: files,
+// directories (every *.metrics.json inside, sorted) or globs, with every
+// unmatched token named in the error.
+func expandPayloadArgs(s string) ([]string, error) {
+	paths, err := export.ExpandFileArgs(s, export.MetricsExt)
+	if err != nil {
+		return nil, fmt.Errorf("-in: %w", err)
+	}
+	return paths, nil
+}
+
+// meanUtil averages the archived utilization series; falls back to the
+// aggregate utilization when the series was not recorded.
+func meanUtil(p *metrics.Payload) float64 {
+	if s, ok := p.SeriesByName(metrics.SeriesUtilization); ok && len(s.Values) > 0 {
+		return stats.Mean(s.Values)
+	}
+	return p.Aggregates.Utilization
+}
+
+// summaryTable renders one row per payload.
+func summaryTable(payloads []*metrics.Payload) *experiments.Table {
+	t := &experiments.Table{
+		Name:  "metrics_summary",
+		Title: "per-run telemetry summary (from archived payloads)",
+		Header: []string{"run", "policy", "sched", "measured", "avg_jct_s", "p50_jct_s",
+			"p90_jct_s", "p99_jct_s", "mean_wait_s", "util_pct", "truncated"},
+	}
+	for _, p := range payloads {
+		a := p.Aggregates
+		truncated := ""
+		if p.Truncated {
+			truncated = fmt.Sprintf("yes (%d unfinished)", p.Unfinished)
+		}
+		t.AddRowf(p.Name, p.Policy, p.Sched, a.Measured, a.AvgJCT, a.P50JCT,
+			a.P90JCT, a.P99JCT, a.MeanWait, 100*meanUtil(p), truncated)
+		if key := p.Key; key != "" {
+			// Hand-edited payloads may carry keys shorter than the usual
+			// 64-hex digest; never slice past what is there.
+			if len(key) > 16 {
+				key = key[:16]
+			}
+			t.Note("%s: key %s", p.Name, key)
+		}
+	}
+	return t
+}
+
+// comparisonTable reports each run's improvement over the baseline on
+// the lower-is-better metrics, plus the utilization delta.
+func comparisonTable(payloads []*metrics.Payload, base *metrics.Payload) *experiments.Table {
+	t := &experiments.Table{
+		Name:  "metrics_vs_baseline",
+		Title: fmt.Sprintf("improvement vs baseline %q (positive = better)", base.Name),
+		Header: []string{"run", "policy", "avg_jct_impr_pct", "p50_jct_impr_pct",
+			"p99_jct_impr_pct", "mean_wait_impr_pct", "util_delta_pct"},
+	}
+	b := base.Aggregates
+	for _, p := range payloads {
+		if p == base {
+			continue
+		}
+		a := p.Aggregates
+		t.AddRowf(p.Name, p.Policy,
+			100*stats.Improvement(b.AvgJCT, a.AvgJCT),
+			100*stats.Improvement(b.P50JCT, a.P50JCT),
+			100*stats.Improvement(b.P99JCT, a.P99JCT),
+			100*stats.Improvement(b.MeanWait, a.MeanWait),
+			100*(meanUtil(p)-meanUtil(base)))
+	}
+	t.Note("baseline: %s (%s/%s), avg JCT %.1f s, p99 %.1f s",
+		base.Name, base.Policy, base.Sched, b.AvgJCT, b.P99JCT)
+	return t
+}
+
+// cdfTable reads each payload's archived JCT histogram at fixed
+// percentiles, one column per run.
+func cdfTable(payloads []*metrics.Payload) *experiments.Table {
+	header := []string{"jct_percentile"}
+	for _, p := range payloads {
+		header = append(header, p.Name+"_s")
+	}
+	t := &experiments.Table{
+		Name:   "metrics_jct_cdf",
+		Title:  "JCT distribution comparison (binned quantiles from archived histograms)",
+		Header: header,
+	}
+	for _, pct := range cdfPercentiles {
+		row := []interface{}{fmt.Sprintf("p%g", pct)}
+		for _, p := range payloads {
+			if p.JCTHist == nil {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, p.JCTHist.Quantile(pct))
+		}
+		t.AddRowf(row...)
+	}
+	return t
+}
+
+// emit writes one table to stdout or to <outDir>/<name>.<ext> — the same
+// rendering contract as palsweep.
+func emit(t *experiments.Table, format, outDir string) error {
+	render := func(w *os.File) error {
+		switch format {
+		case "text":
+			_, err := fmt.Fprint(w, t.String())
+			return err
+		case "csv":
+			return export.TableCSV(w, t)
+		case "md":
+			return export.TableMarkdown(w, t)
+		case "json":
+			return export.TableJSON(w, t)
+		}
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if outDir == "" {
+		return render(os.Stdout)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	ext := map[string]string{"text": "txt", "csv": "csv", "md": "md", "json": "json"}[format]
+	f, err := os.Create(filepath.Join(outDir, t.Name+"."+ext))
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "palreport: %v\n", err)
+	os.Exit(2)
+}

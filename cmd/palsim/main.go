@@ -9,11 +9,14 @@
 //	palsim -trace synergy -load 10 -jobs 800 -policy tiresias -lacross 1.7
 //	palsim -scenario examples/scenario/spec.json
 //	palsim -scenario spec.json -dump-trace workload.json   # save the generated workload for replay
+//	palsim -scenario spec.json -metrics out/               # archive telemetry (series CSVs + payload JSON)
 //
 // With -scenario, the whole configuration comes from the JSON spec
 // (internal/scenario documents the format) and the other
 // simulation-shaping flags are rejected to prevent silently-ignored
-// knobs.
+// knobs. -metrics works on both paths: it attaches the fast-forward-safe
+// collector (internal/metrics) and dumps the run's series and payload
+// into the named directory, ready for cmd/palreport.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -33,26 +37,27 @@ import (
 
 func main() {
 	var (
-		traceKind = flag.String("trace", "sia", "trace family: sia or synergy")
-		workload  = flag.Int("workload", 1, "Sia-Philly workload index (1-8)")
-		load      = flag.Float64("load", 10, "Synergy job arrival rate (jobs/hour)")
-		jobs      = flag.Int("jobs", 800, "Synergy trace length")
-		policy    = flag.String("policy", "pal", "placement policy: random-sticky, random, gandiva, tiresias, pm-first, pal")
-		schedName = flag.String("sched", "fifo", "scheduling policy: fifo, las, srtf")
-		nodes     = flag.Int("nodes", 0, "cluster nodes (default: 16 for sia, 64 for synergy)")
-		lacross   = flag.Float64("lacross", 1.5, "inter-node locality penalty")
-		perModel  = flag.Bool("per-model-lacross", false, "use per-model locality penalties (Table II)")
-		seed      = flag.Uint64("seed", 0xE4B, "experiment seed")
-		utilize   = flag.Bool("util", false, "print the GPUs-in-use series (deciles)")
-		events    = flag.Int("events", 0, "print the first N lifecycle events")
-		asJSON    = flag.Bool("json", false, "print aggregate metrics as JSON")
-		scenPath  = flag.String("scenario", "", "run a declarative scenario spec (JSON) instead of the flag-built configuration")
-		dumpTrace = flag.String("dump-trace", "", "with -scenario: save the scenario's workload as JSON for replay via a file-sourced spec")
+		traceKind  = flag.String("trace", "sia", "trace family: sia or synergy")
+		workload   = flag.Int("workload", 1, "Sia-Philly workload index (1-8)")
+		load       = flag.Float64("load", 10, "Synergy job arrival rate (jobs/hour)")
+		jobs       = flag.Int("jobs", 800, "Synergy trace length")
+		policy     = flag.String("policy", "pal", "placement policy: random-sticky, random, gandiva, tiresias, pm-first, pal")
+		schedName  = flag.String("sched", "fifo", "scheduling policy: fifo, las, srtf")
+		nodes      = flag.Int("nodes", 0, "cluster nodes (default: 16 for sia, 64 for synergy)")
+		lacross    = flag.Float64("lacross", 1.5, "inter-node locality penalty")
+		perModel   = flag.Bool("per-model-lacross", false, "use per-model locality penalties (Table II)")
+		seed       = flag.Uint64("seed", 0xE4B, "experiment seed")
+		utilize    = flag.Bool("util", false, "print the GPUs-in-use series (deciles)")
+		events     = flag.Int("events", 0, "print the first N lifecycle events")
+		asJSON     = flag.Bool("json", false, "print aggregate metrics as JSON")
+		scenPath   = flag.String("scenario", "", "run a declarative scenario spec (JSON) instead of the flag-built configuration")
+		dumpTrace  = flag.String("dump-trace", "", "with -scenario: save the scenario's workload as JSON for replay via a file-sourced spec")
+		metricsDir = flag.String("metrics", "", "collect telemetry and dump the run's series (CSV) and payload (JSON) into this directory")
 	)
 	flag.Parse()
 
 	if *scenPath != "" {
-		runScenario(*scenPath, *dumpTrace, *asJSON, *events, *utilize)
+		runScenario(*scenPath, *dumpTrace, *asJSON, *events, *utilize, *metricsDir)
 		return
 	}
 	if *dumpTrace != "" {
@@ -93,15 +98,16 @@ func main() {
 	}
 
 	spec := experiments.RunSpec{
-		Trace:        tr,
-		Topo:         topo,
-		Sched:        s,
-		Policy:       pol,
-		Profile:      experiments.LonghornProfile(topo.Size()),
-		Lacross:      *lacross,
-		Seed:         *seed,
-		RecordUtil:   *utilize,
-		RecordEvents: *events > 0,
+		Trace:         tr,
+		Topo:          topo,
+		Sched:         s,
+		Policy:        pol,
+		Profile:       experiments.LonghornProfile(topo.Size()),
+		Lacross:       *lacross,
+		Seed:          *seed,
+		RecordUtil:    *utilize,
+		RecordEvents:  *events > 0,
+		RecordMetrics: *metricsDir != "",
 	}
 	if *perModel {
 		spec.ModelLacross = trace.LacrossByModel()
@@ -111,6 +117,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *metricsDir != "" {
+		base := fmt.Sprintf("%s-%s-%s", tr.Name, spec.Policy.RegistryName(), s.Name())
+		dumpMetrics(*metricsDir, base, res, spec.Key())
 	}
 
 	if *asJSON {
@@ -126,10 +137,31 @@ func main() {
 	printMetrics(header, res, *events, *utilize)
 }
 
+// dumpMetrics archives a run's telemetry payload (with the cache key
+// stamped on a copy — the original may be shared through the runner
+// cache) and per-series CSVs.
+func dumpMetrics(dir, base string, res *sim.Result, key string) {
+	payload := metrics.FromResult(res)
+	if payload == nil {
+		fmt.Fprintln(os.Stderr, "palsim: run produced no metrics payload")
+		os.Exit(1)
+	}
+	p := *payload
+	p.Key = key
+	path, err := export.WriteMetricsDir(dir, base, &p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "palsim: wrote metrics payload %s (+%d series CSVs)\n", path, len(p.Series))
+}
+
 // runScenario executes a declarative scenario spec end to end.
-// -events and -util are output-shaping flags, not configuration, so
-// they are honored by switching the spec's recording knobs on.
-func runScenario(path, dumpTrace string, asJSON bool, events int, utilize bool) {
+// -events, -util and -metrics are output-shaping flags, not
+// configuration, so they are honored by switching the spec's recording
+// knobs on (with a re-Normalize so the forced spec canonicalizes — and
+// cache-keys — exactly like a file that enabled them).
+func runScenario(path, dumpTrace string, asJSON bool, events int, utilize bool, metricsDir string) {
 	// The spec owns the whole configuration; a flag-built knob alongside
 	// it would be silently ignored, so reject the combination.
 	conflicting := map[string]bool{
@@ -154,6 +186,10 @@ func runScenario(path, dumpTrace string, asJSON bool, events int, utilize bool) 
 	}
 	if utilize {
 		spec.Engine.RecordUtilization = true
+	}
+	if metricsDir != "" {
+		spec.Metrics.Enabled = true
+		spec.Normalize()
 	}
 	built, err := spec.Build()
 	if err != nil {
@@ -181,6 +217,9 @@ func runScenario(path, dumpTrace string, asJSON bool, events int, utilize bool) 
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
 		os.Exit(1)
+	}
+	if metricsDir != "" {
+		dumpMetrics(metricsDir, spec.Name, res, built.Key())
 	}
 	if asJSON {
 		if err := export.ResultJSON(os.Stdout, res); err != nil {

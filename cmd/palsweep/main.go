@@ -20,12 +20,18 @@
 //	palsweep -experiments all -scale full -format csv -out results/
 //	palsweep -experiments sia -workers 1   # fig11,fig12,fig13,headline
 //	palsweep -scenario a.json,b.json,c.json -workers 8
+//	palsweep -scenario specs/ -workers 8              # every *.json in the directory
+//	palsweep -scenario 'specs/pal-*.json' -metrics out/
 //
 // With -scenario, each named declarative spec (internal/scenario
 // documents the format) becomes one simulation fanned out over the same
 // worker pool, cached under its canonical content hash — so re-sweeping
 // an unchanged spec, or naming the same scenario twice, simulates once
-// — and summarized as one row of a single "scenarios" table.
+// — and summarized as one row of a single "scenarios" table. Scenario
+// arguments may be files, directories (every *.json inside) or globs; an
+// argument matching nothing is an error naming what failed. Adding
+// -metrics out/ force-enables each spec's telemetry block and archives
+// the collected payloads there, ready for cmd/palreport to aggregate.
 //
 // Ctrl-C cancels the sweep: in-flight simulations finish, queued ones
 // never start.
@@ -46,6 +52,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -62,15 +69,16 @@ var groups = map[string][]string{
 
 func main() {
 	var (
-		expFlag  = flag.String("experiments", "all", "comma-separated experiment IDs, group names (sia, synergy, testbed, ablation) or \"all\"")
-		scenFlag = flag.String("scenario", "", "comma-separated scenario spec files to sweep instead of registered experiments")
-		workers  = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		scale    = flag.String("scale", "full", "experiment scale: full or quick")
-		format   = flag.String("format", "text", "output format: text, csv, md, json")
-		outDir   = flag.String("out", "", "write one file per experiment into this directory instead of stdout")
-		cacheCap = flag.Int("cache", 0, "result-cache capacity in simulations (0 = default)")
-		list     = flag.Bool("list", false, "list available experiments and groups, then exit")
-		quiet    = flag.Bool("quiet", false, "suppress the progress line")
+		expFlag    = flag.String("experiments", "all", "comma-separated experiment IDs, group names (sia, synergy, testbed, ablation) or \"all\"")
+		scenFlag   = flag.String("scenario", "", "comma-separated scenario spec files, directories or globs to sweep instead of registered experiments")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		scale      = flag.String("scale", "full", "experiment scale: full or quick")
+		format     = flag.String("format", "text", "output format: text, csv, md, json")
+		outDir     = flag.String("out", "", "write one file per experiment into this directory instead of stdout")
+		cacheCap   = flag.Int("cache", 0, "result-cache capacity in simulations (0 = default)")
+		list       = flag.Bool("list", false, "list available experiments and groups, then exit")
+		quiet      = flag.Bool("quiet", false, "suppress the progress line")
+		metricsDir = flag.String("metrics", "", "with -scenario: collect telemetry and archive each scenario's payload (JSON) and series (CSV) into this directory for palreport")
 	)
 	flag.Parse()
 
@@ -99,6 +107,8 @@ func main() {
 				fatal(fmt.Errorf("-%s conflicts with -scenario (the specs set the configuration)", f.Name))
 			}
 		})
+	} else if *metricsDir != "" {
+		fatal(fmt.Errorf("-metrics requires -scenario"))
 	}
 
 	var names []string
@@ -142,7 +152,11 @@ func main() {
 
 	start := time.Now()
 	if *scenFlag != "" {
-		runScenarioSweep(ctx, pool, strings.Split(*scenFlag, ","), *format, *outDir, *quiet, start)
+		paths, err := expandScenarioArgs(*scenFlag)
+		if err != nil {
+			fatal(err)
+		}
+		runScenarioSweep(ctx, pool, paths, *format, *outDir, *metricsDir, *quiet, start)
 		return
 	}
 	progressDone := make(chan struct{})
@@ -214,22 +228,39 @@ func main() {
 	}
 }
 
+// expandScenarioArgs expands the -scenario flag's comma-separated tokens
+// into spec file paths: files, directories (every *.json inside, sorted)
+// or globs, with every unmatched token named in the error so a typo'd
+// directory cannot silently shrink a sweep.
+func expandScenarioArgs(s string) ([]string, error) {
+	paths, err := export.ExpandFileArgs(s, ".json")
+	if err != nil {
+		return nil, fmt.Errorf("-scenario: %w", err)
+	}
+	return paths, nil
+}
+
 // runScenarioSweep fans declarative scenario specs out over the worker
 // pool — each keyed by its canonical content hash, so duplicate or
 // previously-run configurations hit the result cache — and renders one
-// summary table with a row per scenario.
-func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, format, outDir string, quiet bool, start time.Time) {
+// summary table with a row per scenario. With metricsDir set, every
+// spec's telemetry block is force-enabled and the collected payloads are
+// archived there for palreport.
+func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, format, outDir, metricsDir string, quiet bool, start time.Time) {
 	sweep := runner.NewSweep(pool)
 	var builds []*scenario.Built
 	var specPaths []string
 	for _, path := range paths {
-		path = strings.TrimSpace(path)
-		if path == "" {
-			continue
-		}
 		spec, err := scenario.LoadFile(path)
 		if err != nil {
 			fatal(err)
+		}
+		if metricsDir != "" {
+			// Re-normalize after the forced enable so the spec
+			// canonicalizes — and cache-keys — exactly like a file that
+			// asked for metrics itself.
+			spec.Metrics.Enabled = true
+			spec.Normalize()
 		}
 		built, err := spec.Build()
 		if err != nil {
@@ -259,8 +290,30 @@ func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, fo
 		Header: []string{"scenario", "workload", "jobs", "gpus", "policy", "sched",
 			"avg_jct_s", "p50_jct_s", "p99_jct_s", "mean_wait_s", "makespan_h", "util_pct", "rounds", "truncated"},
 	}
+	seenBase := make(map[string]bool)
+	archived := 0
 	for i, b := range builds {
 		res := results[i]
+		if metricsDir != "" {
+			payload := metrics.FromResult(res)
+			if payload == nil {
+				fatal(fmt.Errorf("scenario %s: no metrics payload on result", b.Spec.Name))
+			}
+			// Stamp the key on a copy: the payload may be shared through
+			// the result cache. Scenario names may repeat across specs, so
+			// collide into key-suffixed file names instead of overwriting.
+			p := *payload
+			p.Key = b.Key()
+			base := b.Spec.Name
+			if seenBase[base] {
+				base = fmt.Sprintf("%s-%s", base, p.Key[:8])
+			}
+			seenBase[b.Spec.Name] = true
+			if _, err := export.WriteMetricsDir(metricsDir, base, &p); err != nil {
+				fatal(err)
+			}
+			archived++
+		}
 		jcts := res.JCTs()
 		truncated := ""
 		if res.Truncated {
@@ -279,6 +332,10 @@ func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, fo
 		st := pool.Stats()
 		fmt.Fprintf(os.Stderr, "palsweep: %d scenarios, %d simulations (%d cache hits), %d workers, %.1fs total\n",
 			len(builds), st.Completed, st.CacheHits, pool.Workers(), time.Since(start).Seconds())
+		if archived > 0 {
+			fmt.Fprintf(os.Stderr, "palsweep: archived %d metric payloads to %s (aggregate with palreport -in %s)\n",
+				archived, metricsDir, metricsDir)
+		}
 	}
 }
 

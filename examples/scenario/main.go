@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"reflect"
 
+	"repro/internal/metrics"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 )
@@ -56,6 +57,17 @@ func main() {
 		res.Makespan, 100*res.Utilization, res.Rounds)
 	if res.Truncated {
 		fmt.Printf("TRUNCATED: %d jobs unfinished at the MaxRounds cap\n", res.Unfinished)
+	}
+
+	// The spec enables the metrics block, so the result carries a
+	// telemetry payload: sampled series, per-job lifecycle records and
+	// JCT/wait histograms — collected without forfeiting the engine's
+	// fast-forwarding (unlike the per-round Observer hook). This is what
+	// `palsim -metrics out/` archives and `palreport` aggregates.
+	if p := metrics.FromResult(res); p != nil {
+		queue, _ := p.SeriesByName(metrics.SeriesQueueDepth)
+		fmt.Printf("\ntelemetry: %d series, %d job records; queue depth peaked at %.0f jobs; p90 JCT (binned) %.0f s\n",
+			len(p.Series), len(p.Jobs), stats.Max(queue.Values), p.JCTHist.Quantile(90))
 	}
 
 	// Round trip: save the generated workload, replay it from the file,

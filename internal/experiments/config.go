@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/place"
 	"repro/internal/rng"
 	"repro/internal/runner"
@@ -91,7 +92,13 @@ type RunSpec struct {
 	MeasureFirst, MeasureLast int
 	RecordUtil                bool
 	RecordEvents              bool
-	RoundSec                  float64
+	// RecordMetrics attaches a default-configured metrics.Collector
+	// (every series, per-round sampling). The payload rides on
+	// Result.Metrics — including through the result cache — and is
+	// retrievable with metrics.FromResult. Collection is
+	// fast-forward-safe, unlike the Observer path.
+	RecordMetrics bool
+	RoundSec      float64
 
 	// MigrationPenaltySec overrides the default checkpoint/restore cost
 	// charged when a running job's allocation changes; negative disables
@@ -185,6 +192,18 @@ func Run(spec RunSpec) (*sim.Result, error) {
 		RecordEvents:        spec.RecordEvents,
 		RoundSec:            spec.RoundSec,
 		MigrationPenaltySec: migration,
+	}
+	if spec.RecordMetrics {
+		schedName := ""
+		if spec.Sched != nil {
+			schedName = spec.Sched.Name()
+		}
+		cfg.Metrics = metrics.MustCollector(metrics.Config{
+			ClusterGPUs: spec.Topo.Size(),
+			Label:       spec.label(),
+			Policy:      spec.Policy.RegistryName(),
+			Sched:       schedName,
+		})
 	}
 	return sim.Run(cfg)
 }

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// goldenRunSpecKey pins RunSpec.Key() for the canonical Fig. 11 cell
+// (Sia workload 1, PAL under FIFO, 64-GPU Longhorn cluster at the
+// default penalties and seed). Every field of RunSpec feeds this hash —
+// trace content, profile content, topology, scheduler, policy, penalty,
+// seed, window, recording flags — so silent drift in any of their
+// encodings (the stale-cache bug class) fails here loudly. If you
+// *deliberately* changed the encoding, a generator, or a seed constant:
+// bump the version tag in RunSpec.Key and update the constant below in
+// the same commit.
+const goldenRunSpecKey = "37822fd00dcea9d2ab3ffdcd45b284483767a788a534d817451021e9fd5f88d2"
+
+func TestGoldenRunSpecKey(t *testing.T) {
+	spec := RunSpec{
+		Trace:   SiaTrace(1),
+		Topo:    SiaTopology(),
+		Sched:   FIFOSched,
+		Policy:  PALPolicy,
+		Profile: LonghornProfile(64),
+		Lacross: 1.5,
+		Seed:    ExperimentSeed,
+	}
+	if got := spec.Key(); got != goldenRunSpecKey {
+		t.Errorf("RunSpec key drifted:\n  got  %s\n  want %s\n"+
+			"If this change is intentional, bump the version tag in RunSpec.Key and update goldenRunSpecKey.",
+			got, goldenRunSpecKey)
+	}
+
+	// The golden value must also be sensitive: flipping the new
+	// RecordMetrics flag has to move the key.
+	spec.RecordMetrics = true
+	if spec.Key() == goldenRunSpecKey {
+		t.Error("RecordMetrics does not feed the cache key (stale-cache hazard)")
+	}
+}

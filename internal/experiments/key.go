@@ -69,7 +69,9 @@ func hashTrace(h *runner.Hash, t *trace.Trace) {
 // whenever the encoding changes).
 func (s RunSpec) Key() string {
 	h := runner.NewHash()
-	h.String("runspec/v1")
+	// v2: RecordMetrics joined the encoding (a metrics-carrying result
+	// must never alias a bare one in the cache).
+	h.String("runspec/v2")
 
 	hashTrace(h, s.Trace)
 	h.Int(s.Topo.NumNodes)
@@ -106,6 +108,7 @@ func (s RunSpec) Key() string {
 	h.Int(s.MeasureLast)
 	h.Bool(s.RecordUtil)
 	h.Bool(s.RecordEvents)
+	h.Bool(s.RecordMetrics)
 	h.Float64(s.RoundSec)
 	h.Float64(s.MigrationPenaltySec)
 	return h.Sum()

@@ -1,0 +1,77 @@
+package export
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ExpandFileArgs resolves a comma-separated CLI argument of files,
+// directories and globs into concrete file paths, preserving token
+// order. A directory token contributes every file inside it whose name
+// ends in ext (sorted); a token containing glob metacharacters expands
+// through filepath.Glob; anything else is a literal file. A token that
+// matches nothing is collected and reported — the returned error names
+// every miss, so a typo'd path cannot silently shrink a sweep or a
+// report. Both palsweep (-scenario, ext ".json") and palreport (-in,
+// ext ".metrics.json") resolve their arguments here.
+//
+// Directories are listed with os.ReadDir rather than a constructed glob
+// so a directory whose own name contains metacharacters ("specs[1]/")
+// still works.
+func ExpandFileArgs(s, ext string) ([]string, error) {
+	var paths []string
+	var misses []string
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if info, err := os.Stat(tok); err == nil && info.IsDir() {
+			entries, err := os.ReadDir(tok)
+			if err != nil {
+				return nil, fmt.Errorf("reading directory %q: %w", tok, err)
+			}
+			var matches []string
+			for _, e := range entries {
+				if !e.IsDir() && strings.HasSuffix(e.Name(), ext) {
+					matches = append(matches, filepath.Join(tok, e.Name()))
+				}
+			}
+			if len(matches) == 0 {
+				misses = append(misses, fmt.Sprintf("%s (directory with no *%s)", tok, ext))
+				continue
+			}
+			sort.Strings(matches)
+			paths = append(paths, matches...)
+			continue
+		}
+		if strings.ContainsAny(tok, "*?[") {
+			matches, err := filepath.Glob(tok)
+			if err != nil {
+				return nil, fmt.Errorf("bad glob %q: %w", tok, err)
+			}
+			if len(matches) == 0 {
+				misses = append(misses, fmt.Sprintf("%s (glob matched nothing)", tok))
+				continue
+			}
+			sort.Strings(matches)
+			paths = append(paths, matches...)
+			continue
+		}
+		if _, err := os.Stat(tok); err != nil {
+			misses = append(misses, fmt.Sprintf("%s (no such file)", tok))
+			continue
+		}
+		paths = append(paths, tok)
+	}
+	if len(misses) > 0 {
+		return nil, fmt.Errorf("arguments matched no files: %s", strings.Join(misses, "; "))
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no files given")
+	}
+	return paths, nil
+}

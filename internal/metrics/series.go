@@ -1,0 +1,68 @@
+package metrics
+
+// Series is a fixed-capacity ring buffer of (round index, value) samples.
+// Sampling on the round grid — integer indices rather than float
+// timestamps — is what makes span integration exact: a fast-forwarded
+// span contributes precisely the sample indices the naive loop would
+// have, with no accumulated float time to diverge. Wall-clock sample
+// times are derived at export (Payload.TimeBase + index×RoundSec).
+//
+// When the buffer is full the oldest sample is overwritten, so a series
+// always holds the most recent MaxSamples observations; Dropped counts
+// the overwritten ones so consumers can tell a complete series from a
+// tail window.
+type Series struct {
+	name  string
+	rings int // capacity
+	start int // ring index of the oldest sample
+	count int
+
+	idx     []int64
+	val     []float64
+	dropped int64
+}
+
+// newSeries returns an empty ring of the given capacity. Backing storage
+// grows on demand (amortized append) rather than being preallocated:
+// short runs never touch most of a default-sized ring, and zeroing
+// megabytes up front would dominate the cost of an instrumented
+// fast-forwarded run.
+func newSeries(name string, capacity int) *Series {
+	return &Series{name: name, rings: capacity}
+}
+
+// Name returns the series' registered name.
+func (s *Series) Name() string { return s.name }
+
+// Len returns the number of retained samples.
+func (s *Series) Len() int { return s.count }
+
+// Dropped returns how many samples were overwritten by ring wraparound.
+func (s *Series) Dropped() int64 { return s.dropped }
+
+// append adds one sample, overwriting the oldest when full.
+func (s *Series) append(round int64, v float64) {
+	if s.count < s.rings {
+		s.idx = append(s.idx, round)
+		s.val = append(s.val, v)
+		s.count++
+		return
+	}
+	s.idx[s.start] = round
+	s.val[s.start] = v
+	s.start = (s.start + 1) % s.rings
+	s.dropped++
+}
+
+// Samples returns the retained samples in time order as parallel slices
+// (round indices and values). The slices are fresh copies.
+func (s *Series) Samples() (rounds []int64, values []float64) {
+	rounds = make([]int64, s.count)
+	values = make([]float64, s.count)
+	for i := 0; i < s.count; i++ {
+		j := (s.start + i) % s.rings
+		rounds[i] = s.idx[j]
+		values[i] = s.val[j]
+	}
+	return rounds, values
+}

@@ -11,6 +11,7 @@ import (
 	// "pal" in the placement registry, and scenario specs must resolve
 	// those names even in binaries that use no other part of core.
 	_ "repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/place"
 	"repro/internal/rng"
 	"repro/internal/runner"
@@ -205,6 +206,26 @@ func (b *Built) Config() (sim.Config, error) {
 	case migration < 0:
 		migration = 0
 	}
+	var sink sim.MetricsSink
+	if s.Metrics.Enabled {
+		// A fresh collector per Config call, like the policy instances:
+		// collectors hold per-run state, so sharing one across runs would
+		// interleave their observations.
+		collector, err := metrics.NewCollector(metrics.Config{
+			IntervalRounds: s.Metrics.IntervalRounds,
+			MaxSamples:     s.Metrics.MaxSamples,
+			HistBins:       s.Metrics.HistBins,
+			Series:         s.Metrics.Series,
+			ClusterGPUs:    b.Topo.Size(),
+			Label:          s.Name,
+			Policy:         s.Policy.Name,
+			Sched:          s.Sched.Name,
+		})
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		sink = collector
+	}
 	return sim.Config{
 		Topology:            b.Topo,
 		Trace:               b.Trace,
@@ -222,6 +243,7 @@ func (b *Built) Config() (sim.Config, error) {
 		RecordUtilization:   s.Engine.RecordUtilization,
 		RecordEvents:        s.Engine.RecordEvents,
 		MigrationPenaltySec: migration,
+		Metrics:             sink,
 	}, nil
 }
 
@@ -291,7 +313,12 @@ func buildAdmission(name string) (sim.Admission, error) {
 // genuinely matches.
 func (b *Built) Key() string {
 	h := runner.NewHash()
-	h.String("scenario/v1")
+	// v2: the spec grew a metrics block (whose payload rides on cached
+	// results, so a metrics-on run must never alias a metrics-off one).
+	// The canonical JSON hashed below already encodes the new field for
+	// every spec; the version bump marks the encoding change explicitly
+	// per the cache-key invariant.
+	h.String("scenario/v2")
 	canon, err := b.Spec.Canonical()
 	if err != nil {
 		// Canonical only fails on a non-serializable spec, which Parse

@@ -1,0 +1,32 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// goldenSpecKey pins Built.Key() for the checked-in reference spec.
+// Cache keys are content hashes of the full run configuration; a key
+// that drifts without anyone touching the configuration means the
+// encoding changed silently — exactly the stale-cache bug class the
+// content-addressed design exists to prevent. If this test fails because
+// you *deliberately* changed the spec schema, its defaults, the example
+// spec, a generator, or the key encoding: bump the version tag in
+// Built.Key (per the cache-key invariant) and update the constant below
+// in the same commit.
+const goldenSpecKey = "2c6221e08fac50220164dd5dac5fe931bf092698ef6db4e08c292831551e2c19"
+
+func TestGoldenScenarioKey(t *testing.T) {
+	spec, err := LoadFile("../../examples/scenario/spec.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Key(); got != goldenSpecKey {
+		t.Errorf("examples/scenario/spec.json key drifted:\n  got  %s\n  want %s\n"+
+			"If this change is intentional, bump the version tag in Built.Key and update goldenSpecKey.",
+			got, goldenSpecKey)
+	}
+}

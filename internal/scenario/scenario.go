@@ -33,7 +33,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -58,6 +60,7 @@ type Spec struct {
 	Admission string       `json:"admission,omitempty"`
 	Locality  LocalitySpec `json:"locality"`
 	Engine    EngineSpec   `json:"engine"`
+	Metrics   MetricsSpec  `json:"metrics"`
 }
 
 // ClusterSpec describes the simulated cluster's topology.
@@ -163,6 +166,32 @@ type EngineSpec struct {
 	RecordEvents        bool    `json:"record_events,omitempty"`
 }
 
+// MetricsSpec attaches the telemetry collector (internal/metrics) to the
+// run. Collection is fast-forward-safe — enabling it does not forfeit
+// the engine's dead-time skipping — and purely observational: results
+// with and without metrics are byte-identical. The collected payload
+// rides on the result (and through the runner cache) and is what
+// `palsim/palsweep -metrics` archive and `palreport` aggregates.
+type MetricsSpec struct {
+	// Enabled switches collection on. When false, every other field must
+	// be zero (a configured-but-disabled block is almost certainly a
+	// mistake, so it is rejected).
+	Enabled bool `json:"enabled,omitempty"`
+	// IntervalRounds samples every k-th simulated round (default 1).
+	IntervalRounds int `json:"interval_rounds,omitempty"`
+	// MaxSamples bounds each series' ring buffer (default
+	// metrics.DefaultMaxSamples); the ring keeps the most recent samples.
+	MaxSamples int `json:"max_samples,omitempty"`
+	// Series selects recorded series by name (metrics.AllSeries lists
+	// the vocabulary; empty means all). Normalization sorts and dedupes
+	// the list, so spec files naming the same set in any order
+	// canonicalize — and cache-key — identically.
+	Series []string `json:"series,omitempty"`
+	// HistBins is the bin count of the JCT/wait histograms (default
+	// metrics.DefaultHistBins).
+	HistBins int `json:"hist_bins,omitempty"`
+}
+
 // Parse decodes, normalizes and validates a scenario spec. Unknown
 // fields are an error.
 func Parse(data []byte) (*Spec, error) {
@@ -204,6 +233,13 @@ func LoadFile(path string) (*Spec, error) {
 	}
 	return s, nil
 }
+
+// Normalize applies the documented defaults in place. Parse calls it
+// automatically; callers that mutate a parsed spec (e.g. a CLI flag
+// force-enabling metrics) should re-Normalize so the spec's canonical
+// form — and therefore its cache key — matches what parsing the mutated
+// configuration from a file would produce.
+func (s *Spec) Normalize() { s.normalize() }
 
 // normalize applies defaults in place. It is idempotent: normalizing a
 // normalized spec changes nothing, the property that makes Canonical a
@@ -297,6 +333,30 @@ func (s *Spec) normalize() {
 	if s.Locality.Lacross == 0 {
 		s.Locality.Lacross = 1.5
 	}
+	if s.Metrics.Enabled {
+		if s.Metrics.IntervalRounds == 0 {
+			s.Metrics.IntervalRounds = 1
+		}
+		if s.Metrics.MaxSamples == 0 {
+			s.Metrics.MaxSamples = metrics.DefaultMaxSamples
+		}
+		if s.Metrics.HistBins == 0 {
+			s.Metrics.HistBins = metrics.DefaultHistBins
+		}
+		if len(s.Metrics.Series) == 0 {
+			s.Metrics.Series = nil
+		} else {
+			sorted := append([]string(nil), s.Metrics.Series...)
+			sort.Strings(sorted)
+			dedup := sorted[:0]
+			for i, name := range sorted {
+				if i == 0 || name != sorted[i-1] {
+					dedup = append(dedup, name)
+				}
+			}
+			s.Metrics.Series = dedup
+		}
+	}
 }
 
 // Validate checks the normalized spec for structural errors that do not
@@ -351,6 +411,22 @@ func (s *Spec) Validate() error {
 	}
 	if s.Engine.MeasureFirst < 0 || s.Engine.MeasureLast < 0 {
 		return fmt.Errorf("scenario %s: negative measurement window", s.Name)
+	}
+	m := s.Metrics
+	if !m.Enabled {
+		if m.IntervalRounds != 0 || m.MaxSamples != 0 || m.HistBins != 0 || len(m.Series) != 0 {
+			return fmt.Errorf("scenario %s: metrics configured but not enabled (set \"enabled\": true)", s.Name)
+		}
+		return nil
+	}
+	if m.IntervalRounds < 0 || m.MaxSamples < 0 || m.HistBins < 0 {
+		return fmt.Errorf("scenario %s: negative metrics knobs", s.Name)
+	}
+	for _, name := range m.Series {
+		if !metrics.ValidSeries(name) {
+			return fmt.Errorf("scenario %s: unknown metrics series %q (have %v)",
+				s.Name, name, metrics.AllSeries())
+		}
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -49,6 +50,9 @@ func TestParseRejects(t *testing.T) {
 		`{"workload": {"source": "synthetic"}, "locality": {"lrack": 0.5}}`,
 		`{"workload": {"source": "synthetic", "arrivals": "weekly"}}`,
 		`{"cluster": {"nodes": -1}, "workload": {"source": "synthetic"}}`,
+		`{"workload": {"source": "synthetic"}, "metrics": {"interval_rounds": 5}}`,
+		`{"workload": {"source": "synthetic"}, "metrics": {"enabled": true, "series": ["gpu_temperature"]}}`,
+		`{"workload": {"source": "synthetic"}, "metrics": {"enabled": true, "interval_rounds": -1}}`,
 		`{} trailing`,
 	}
 	for _, src := range bad {
@@ -74,7 +78,35 @@ func specCorpus() []string {
 		  "engine": {"round_sec": 60, "record_utilization": true, "record_events": true}}`,
 		`{"name": "rnd", "profile": {"source": "frontera"}, "workload": {"source": "synthetic", "num_jobs": 25, "jobs_per_hour": 40},
 		  "policy": {"name": "random-sticky"}, "sched": {"name": "srtf"}, "admission": "admit-all"}`,
+		`{"name": "telemetry", "workload": {"source": "synthetic", "num_jobs": 40, "jobs_per_hour": 20},
+		  "metrics": {"enabled": true}}`,
+		`{"name": "telemetry-tuned", "workload": {"source": "sia-philly", "workload": 2},
+		  "policy": {"name": "tiresias"},
+		  "metrics": {"enabled": true, "interval_rounds": 4, "max_samples": 128,
+		              "series": ["queue_depth", "gpus_in_use", "queue_depth"], "hist_bins": 32}}`,
 	}
+}
+
+// fuzzMetrics draws a random-but-valid metrics block: either fully
+// disabled (all zero — a configured-but-disabled block is rejected) or
+// enabled with every knob independently defaulted or set, including
+// unsorted duplicate series names to exercise the normalizer.
+func fuzzMetrics(r *rng.RNG) MetricsSpec {
+	if r.Intn(2) == 0 {
+		return MetricsSpec{}
+	}
+	m := MetricsSpec{
+		Enabled:        true,
+		IntervalRounds: r.Intn(4),
+		MaxSamples:     r.Intn(2) * 256,
+		HistBins:       r.Intn(2) * 16,
+	}
+	for _, name := range metrics.AllSeries() {
+		if r.Intn(3) == 0 {
+			m.Series = append(m.Series, name, name) // duplicates on purpose
+		}
+	}
+	return m
 }
 
 // TestCanonicalRoundTripStable is the fuzz-style stability test: for a
@@ -149,6 +181,7 @@ func TestCanonicalRoundTripStable(t *testing.T) {
 				MeasureFirst: r.Intn(5),
 				MeasureLast:  5 + r.Intn(50),
 			},
+			Metrics: fuzzMetrics(r),
 		}
 		// The testbed profile covers 64 GPUs; keep the fuzzed cluster
 		// inside every profile source's coverage.

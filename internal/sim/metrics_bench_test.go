@@ -1,0 +1,73 @@
+package sim_test
+
+// Benchmarks backing the claim that telemetry is fast-forward-safe: on
+// the sparse workload where dead-time skipping buys ~8.5x, attaching a
+// metrics.Collector must retain most of that speedup (acceptance: >= 5x
+// over the naive loop). Run with
+//
+//	go test -bench=BenchmarkMetrics -benchtime=1x ./internal/sim
+//
+// BenchmarkMetricsOverhead reports metrics-on vs metrics-off ns and the
+// instrumented speedup in one invocation (CI archives these numbers as
+// BENCH_metrics.json).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// sparseMetricsConfig is sparseConfig with a default collector attached.
+func sparseMetricsConfig(b *testing.B, disableFF bool) sim.Config {
+	b.Helper()
+	cfg := sparseConfig(disableFF)
+	col, err := metrics.NewCollector(metrics.Config{ClusterGPUs: cfg.Topology.Size()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Metrics = col
+	return cfg
+}
+
+func runSparseMetrics(b *testing.B, disableFF bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sparseMetricsConfig(b, disableFF))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metrics.FromResult(res) == nil {
+			b.Fatal("no payload collected")
+		}
+	}
+}
+
+func BenchmarkMetricsSparseNaive(b *testing.B)       { runSparseMetrics(b, true) }
+func BenchmarkMetricsSparseFastForward(b *testing.B) { runSparseMetrics(b, false) }
+
+// BenchmarkMetricsOverhead times the four corners — {metrics on, off} ×
+// {fast-forward, naive} — back to back and reports:
+//
+//	metrics-on-ms / metrics-off-ms   fast-forward cost with/without the sink
+//	overhead-pct                     what the sink costs the fast path
+//	instrumented-speedup             metrics-on fast-forward vs metrics-on naive
+func BenchmarkMetricsOverhead(b *testing.B) {
+	run := func(cfg sim.Config) time.Duration {
+		t0 := time.Now()
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	for i := 0; i < b.N; i++ {
+		onFast := run(sparseMetricsConfig(b, false))
+		offFast := run(sparseConfig(false))
+		onNaive := run(sparseMetricsConfig(b, true))
+		b.ReportMetric(onFast.Seconds()*1000, "metrics-on-ms")
+		b.ReportMetric(offFast.Seconds()*1000, "metrics-off-ms")
+		b.ReportMetric(100*(onFast.Seconds()-offFast.Seconds())/offFast.Seconds(), "overhead-pct")
+		b.ReportMetric(onNaive.Seconds()/onFast.Seconds(), "instrumented-speedup")
+	}
+}

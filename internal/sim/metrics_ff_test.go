@@ -1,0 +1,125 @@
+package sim_test
+
+// Equivalence guard for the telemetry hook: attaching a metrics.Collector
+// must not forfeit fast-forwarding, and the telemetry collected across
+// fast-forwarded spans must be *byte-identical* to naive round-by-round
+// sampling — same sample indices, same values, same histograms, same
+// lifecycle records, bit for bit. This is the metrics counterpart of
+// TestFastForwardByteIdentical, over the same workload matrix (Sia and
+// sparse-Synergy traces among them).
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// collectorFor builds a fresh default collector sized to the case's
+// cluster.
+func collectorFor(t *testing.T, c ffCase, interval int) *metrics.Collector {
+	t.Helper()
+	col, err := metrics.NewCollector(metrics.Config{
+		ClusterGPUs:    c.nodes * 4,
+		IntervalRounds: interval,
+		Label:          c.name,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func TestMetricsFastForwardByteIdentical(t *testing.T) {
+	for _, c := range ffCases(t) {
+		c := c
+		for _, interval := range []int{1, 7} {
+			interval := interval
+			t.Run(fmt.Sprintf("%s/every-%d", c.name, interval), func(t *testing.T) {
+				naiveCfg := c.config(t, true)
+				naiveCfg.Metrics = collectorFor(t, c, interval)
+				naive, err := sim.Run(naiveCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fastCfg := c.config(t, false)
+				fastCfg.Metrics = collectorFor(t, c, interval)
+				fast, err := sim.Run(fastCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				np, fp := metrics.FromResult(naive), metrics.FromResult(fast)
+				if np == nil || fp == nil {
+					t.Fatal("payload missing from an instrumented run")
+				}
+				if !reflect.DeepEqual(np, fp) {
+					for _, s := range np.Series {
+						fs, ok := fp.SeriesByName(s.Name)
+						if !ok || !reflect.DeepEqual(s, fs) {
+							t.Errorf("series %s diverged (naive %d samples, fast %d)",
+								s.Name, len(s.Values), len(fs.Values))
+						}
+					}
+					if !reflect.DeepEqual(np.Jobs, fp.Jobs) {
+						t.Error("job records diverged")
+					}
+					if !reflect.DeepEqual(np.JCTHist, fp.JCTHist) || !reflect.DeepEqual(np.WaitHist, fp.WaitHist) {
+						t.Error("histograms diverged")
+					}
+					t.Fatal("metrics payload not byte-identical across fast-forward")
+				}
+
+				// The simulation itself must also stay byte-identical with
+				// the sink attached (wall-clock PlaceTimes and the sink
+				// pointers excluded, as in the uninstrumented test).
+				naive.PlaceTimes, fast.PlaceTimes = nil, nil
+				naive.Metrics, fast.Metrics = nil, nil
+				if !reflect.DeepEqual(naive, fast) {
+					t.Fatal("instrumented result not byte-identical to naive loop")
+				}
+			})
+		}
+	}
+}
+
+// TestMetricsKeepFastForwardEngaged guards the performance claim's
+// precondition: with a collector attached, a sparse sticky run must still
+// skip its dead time (placement consulted only when jobs need GPUs). If
+// the sink silently forced the naive path, the byte-identity test above
+// would pass vacuously.
+func TestMetricsKeepFastForwardEngaged(t *testing.T) {
+	cfg := sparseConfig(false)
+	col, err := metrics.NewCollector(metrics.Config{ClusterGPUs: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Metrics = col
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 24 jobs, everything fits on arrival: one placement per arrival.
+	if len(res.PlaceTimes) > 30 {
+		t.Errorf("placement called %d times with metrics attached; fast-forward not engaging",
+			len(res.PlaceTimes))
+	}
+	p := metrics.FromResult(res)
+	if p == nil {
+		t.Fatal("no payload")
+	}
+	// Every simulated round must be covered by exactly one observation.
+	if got := col.Rounds(); got != int64(res.Rounds) {
+		t.Errorf("collector observed %d rounds, engine ran %d", got, res.Rounds)
+	}
+	gpus, ok := p.SeriesByName(metrics.SeriesGPUsInUse)
+	if !ok || len(gpus.Values) == 0 {
+		t.Fatal("gpus_in_use series empty")
+	}
+	if int64(len(gpus.Values))+gpus.Dropped != int64(res.Rounds) {
+		t.Errorf("series covers %d samples + %d dropped, want %d rounds at interval 1",
+			len(gpus.Values), gpus.Dropped, res.Rounds)
+	}
+}

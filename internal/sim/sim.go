@@ -14,6 +14,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
@@ -197,10 +198,26 @@ type Config struct {
 	// slowdown every round. This is the hook for the online PM-score
 	// re-profiling extension (§V-A closes by calling for "dynamic online
 	// updates to GPU PM-Scores"): an observing scorer can learn that a
-	// GPU is slower than its static profile claims. Setting an Observer
-	// disables fast-forwarding: the observer contract is one callback per
-	// running job per round.
+	// GPU is slower than its static profile claims.
+	//
+	// Observer is the SLOW compatibility path: its contract is one
+	// callback per running job per round, so attaching one disables
+	// fast-forwarding and the run pays the naive loop's full cost. Use it
+	// only when the consumer genuinely needs to react inside the round
+	// loop (the online re-profiling scorer does). New instrumentation —
+	// time series, histograms, lifecycle records — belongs on the Metrics
+	// hook below, whose span-based contract keeps dead-time skipping
+	// intact.
 	Observer Observer
+
+	// Metrics, when non-nil, receives span-based telemetry through the
+	// fast-forward-safe MetricsSink contract (metrics.Collector is the
+	// standard implementation). Unlike Observer, attaching a sink does
+	// NOT disable dead-time skipping: during a fast-forwarded span the
+	// engine hands the sink the span length and the frozen per-job state
+	// in one call, and the sink integrates analytically. The sink is
+	// echoed on Result.Metrics so cached results carry their telemetry.
+	Metrics MetricsSink
 
 	// DisableFastForward forces the engine to iterate every round even
 	// when nothing can change (no arrival, no finish, no reallocation).
@@ -209,6 +226,53 @@ type Config struct {
 	// switch exists only for that test and for benchmarking the naive
 	// loop.
 	DisableFastForward bool
+}
+
+// RoundObservation describes a span of one or more consecutive rounds
+// during which the running set, every allocation and every slowdown were
+// provably constant. A normal engine round is a span of length 1; a
+// fast-forwarded stretch (or an idle gap with nothing running) arrives as
+// one observation covering all its rounds. The engine guarantees that
+// every simulated round is covered by exactly one observation, in time
+// order, so a sink reconstructs the full per-round series by expanding
+// spans — and the naive and fast-forwarded engines produce byte-identical
+// observation streams.
+type RoundObservation struct {
+	// Start is the engine clock at the span's first round; successive
+	// rounds follow at RoundSec intervals. Sinks that need per-round
+	// times must advance by repeated `t += RoundSec` addition — the
+	// operation the engine itself performs — so reconstructed times match
+	// the naive loop bit for bit.
+	Start    float64
+	RoundSec float64
+	// Rounds is the span length (>= 1).
+	Rounds int
+	// Running lists the jobs holding GPUs during the span, sorted by job
+	// ID (a canonical order independent of scheduler priority, so
+	// order-sensitive float accumulation in sinks cannot diverge between
+	// the naive and fast-forwarded paths). The slice is scratch space
+	// owned by the engine: valid only during the call.
+	Running []*Job
+	// Slowdowns[i] is Running[i]'s Equation-1 multiplier for the span.
+	Slowdowns []float64
+	// Waiting counts active jobs without GPUs (always 0 inside a
+	// fast-forwarded span).
+	Waiting int
+}
+
+// MetricsSink receives aggregated telemetry from the engine. Implementors
+// must be pure observers: a sink must not mutate jobs, draw from any RNG
+// shared with the simulation, or otherwise perturb engine state —
+// attaching one must leave Result byte-identical (the metrics
+// determinism tests pin this).
+type MetricsSink interface {
+	// ObserveRounds is called once per span, in time order.
+	ObserveRounds(o RoundObservation)
+	// FinishRun is called exactly once, after the engine assembled the
+	// Result (with Result.Metrics already pointing at this sink), so the
+	// sink can derive lifecycle records and distributions from the final
+	// per-job state.
+	FinishRun(res *Result)
 }
 
 // Observer receives per-round execution feedback. ObserveRound is called
@@ -275,6 +339,11 @@ type Result struct {
 
 	// Events is the lifecycle log (populated when Config.RecordEvents).
 	Events []Event
+
+	// Metrics echoes Config.Metrics after the run, so a Result pulled
+	// from the runner's cache still carries the telemetry collected when
+	// it was first computed. Nil when no sink was attached.
+	Metrics MetricsSink
 
 	// Truncated reports that the run stopped at Config.MaxRounds with
 	// jobs still incomplete. Aggregate metrics then cover only the jobs
@@ -374,6 +443,41 @@ type engine struct {
 	utilSeries []UtilSample
 	placeTimes []float64
 	events     []Event
+
+	// Scratch buffers for metrics observations, reused across rounds so
+	// an attached sink costs no per-round allocation.
+	obsJobs []*Job
+	obsSds  []float64
+}
+
+// observe hands one span to the metrics sink, with the running set
+// canonicalized to job-ID order (see RoundObservation.Running). running
+// may be in any order; slowdowns are recomputed here — they are pure
+// functions of each job's unchanged allocation, so recomputing yields
+// bit-identical values on both the naive and fast-forwarded paths.
+func (e *engine) observe(start float64, rounds int, running []*Job, waiting int) {
+	if e.cfg.Metrics == nil || rounds <= 0 {
+		return
+	}
+	e.obsJobs = append(e.obsJobs[:0], running...)
+	sort.Slice(e.obsJobs, func(i, j int) bool {
+		return e.obsJobs[i].Spec.ID < e.obsJobs[j].Spec.ID
+	})
+	if cap(e.obsSds) < len(e.obsJobs) {
+		e.obsSds = make([]float64, len(e.obsJobs))
+	}
+	e.obsSds = e.obsSds[:len(e.obsJobs)]
+	for i, j := range e.obsJobs {
+		e.obsSds[i] = e.slowdown(j)
+	}
+	e.cfg.Metrics.ObserveRounds(RoundObservation{
+		Start:     start,
+		RoundSec:  e.cfg.RoundSec,
+		Rounds:    rounds,
+		Running:   e.obsJobs,
+		Slowdowns: e.obsSds,
+		Waiting:   waiting,
+	})
 }
 
 func (e *engine) run() (*Result, error) {
@@ -407,6 +511,7 @@ func (e *engine) run() (*Result, error) {
 			// Idle: jump to the next arrival instead of spinning rounds.
 			if e.nextArrival < len(e.jobs) {
 				next := e.jobs[e.nextArrival].Spec.Arrival
+				idleStart, idleFrom := now, rounds
 				// Advance in whole rounds to keep the round grid stable
 				// (bailing at MaxRounds so an absurd gap cannot spin past
 				// the cap before the top-of-loop truncation check).
@@ -416,6 +521,9 @@ func (e *engine) run() (*Result, error) {
 				}
 				now += cfg.RoundSec
 				rounds++
+				// The whole gap is one empty span: nothing runs, nothing
+				// waits (the arriving job is admitted next iteration).
+				e.observe(idleStart, rounds-idleFrom, nil, 0)
 				continue
 			}
 			// Nothing active and nothing arriving: only rejected jobs
@@ -433,6 +541,10 @@ func (e *engine) run() (*Result, error) {
 		if err := e.place(prefix, now); err != nil {
 			return nil, err
 		}
+
+		// Observe before advance: completions inside the round release
+		// allocations, and the observation covers the round as scheduled.
+		e.observe(now, 1, prefix, len(e.active)-len(prefix))
 
 		finished := e.advance(prefix, now)
 		remaining -= finished
@@ -460,6 +572,11 @@ func (e *engine) run() (*Result, error) {
 	if truncated {
 		res.Truncated = true
 	}
+	// Finalize metrics last, so the sink sees the complete result —
+	// including the truncation flag, which it must carry into payloads.
+	if cfg.Metrics != nil {
+		cfg.Metrics.FinishRun(res)
+	}
 	return res, nil
 }
 
@@ -475,6 +592,10 @@ func (e *engine) run() (*Result, error) {
 //     scheduler reorders it, so evolving LAS/SRTF priorities cannot
 //     change *which* jobs run);
 //   - no Observer is attached (its contract is one callback per round).
+//
+// A Metrics sink is deliberately NOT a disqualifier: its span-based
+// contract (ObserveRounds) was designed so instrumented runs keep the
+// fast path.
 func (e *engine) fastForwardable() bool {
 	if e.cfg.DisableFastForward || e.cfg.Observer != nil || !e.cfg.Placer.Sticky() {
 		return false
@@ -496,7 +617,10 @@ func (e *engine) fastForwardable() bool {
 // Each skipped round applies exactly the arithmetic advance would have
 // (Remaining -= RoundSec/slowdown, Attained += RoundSec×demand, one
 // utilization sample), with the slowdown hoisted out of the loop: it is
-// a pure function of the job's unchanged allocation.
+// a pure function of the job's unchanged allocation. The whole span is
+// handed to the metrics sink as one observation: every per-round quantity
+// is frozen for its duration, so the sink integrates analytically instead
+// of being called round by round.
 func (e *engine) fastForward(now float64, rounds int) (float64, int) {
 	cfg := e.cfg
 	round := cfg.RoundSec
@@ -510,12 +634,15 @@ func (e *engine) fastForward(now float64, rounds int) (float64, int) {
 		sds[i] = e.slowdown(j)
 		inUse += j.Spec.Demand
 	}
+	spanStart, spanFrom := now, rounds
 	for {
 		if rounds >= cfg.MaxRounds || nextArr <= now {
+			e.observe(spanStart, rounds-spanFrom, e.active, 0)
 			return now, rounds
 		}
 		for i, j := range e.active {
 			if j.Remaining*sds[i] <= round {
+				e.observe(spanStart, rounds-spanFrom, e.active, 0)
 				return now, rounds
 			}
 		}
@@ -758,6 +885,7 @@ func (e *engine) result(start, end float64, rounds int) (*Result, error) {
 		UtilSeries: e.utilSeries,
 		PlaceTimes: e.placeTimes,
 		Events:     e.events,
+		Metrics:    e.cfg.Metrics,
 	}
 	first, last := e.cfg.MeasureFirst, e.cfg.MeasureLast
 	if last <= 0 {

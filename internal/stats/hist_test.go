@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestStreamingHistCountsAndClamp(t *testing.T) {
+	h := NewStreamingHist(0, 10, 10)
+	for _, x := range []float64{-5, 0, 0.5, 5, 9.99, 10, 25} {
+		h.Observe(x)
+	}
+	if h.N != 7 {
+		t.Fatalf("N = %d, want 7 (out-of-range samples must clamp, not drop)", h.N)
+	}
+	if h.Counts[0] != 3 { // -5, 0, 0.5
+		t.Errorf("first bin %d, want 3", h.Counts[0])
+	}
+	if h.Counts[9] != 3 { // 9.99, 10, 25
+		t.Errorf("last bin %d, want 3", h.Counts[9])
+	}
+	if h.Min != -5 || h.Max != 25 {
+		t.Errorf("extremes [%g, %g], want [-5, 25]", h.Min, h.Max)
+	}
+}
+
+func TestStreamingHistQuantileMatchesExact(t *testing.T) {
+	// Dense uniform data: binned quantiles must track exact percentiles
+	// within one bin width.
+	r := rng.New(42)
+	xs := make([]float64, 5000)
+	h := NewStreamingHist(0, 1000, 200)
+	for i := range xs {
+		xs[i] = r.Float64() * 1000
+		h.Observe(xs[i])
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for _, p := range []float64{1, 10, 25, 50, 75, 90, 99} {
+		exact := Percentile(xs, p)
+		est := h.Quantile(p)
+		if math.Abs(est-exact) > width {
+			t.Errorf("p%g: estimate %.2f vs exact %.2f (tolerance %.2f)", p, est, exact, width)
+		}
+	}
+	if h.Quantile(0) != h.Min || h.Quantile(100) != h.Max {
+		t.Errorf("edge quantiles [%g, %g], want exact extremes [%g, %g]",
+			h.Quantile(0), h.Quantile(100), h.Min, h.Max)
+	}
+}
+
+func TestStreamingHistEmptyAndSingle(t *testing.T) {
+	h := NewStreamingHist(0, 1, 4)
+	if h.Quantile(50) != 0 || h.CDF() != nil || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(0.3)
+	for _, p := range []float64{0, 50, 100} {
+		if got := h.Quantile(p); got != 0.3 {
+			t.Errorf("single-sample p%g = %g, want 0.3 (clamped to observed range)", p, got)
+		}
+	}
+}
+
+func TestStreamingHistCDF(t *testing.T) {
+	h := NewStreamingHist(0, 4, 4)
+	for _, x := range []float64{0.5, 1.5, 1.5, 3.5} {
+		h.Observe(x)
+	}
+	cdf := h.CDF()
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {4, 1}}
+	if len(cdf) != len(want) {
+		t.Fatalf("CDF has %d points, want %d: %v", len(cdf), len(want), cdf)
+	}
+	for i, p := range want {
+		if cdf[i] != p {
+			t.Errorf("CDF[%d] = %v, want %v", i, cdf[i], p)
+		}
+	}
+}
