@@ -8,6 +8,14 @@
 // penalty if its allocation fits within one node and a constant penalty
 // L_across if it spans nodes. An optional rack level is supported as an
 // extension for deeper L×V matrices.
+//
+// Occupancy is indexed incrementally: Allocate and Release maintain
+// free-GPU counts per node and per rack alongside the flat bitmap, so the
+// occupancy queries the placement policies issue every round — NumFree,
+// FreeOnNode, FreeOnRack, and the busy-node skip inside FreeGPUs — cost
+// O(1) per node instead of rescanning the whole cluster. Placers consume
+// that surface through the read-only View interface; only the engine
+// holds the mutable *Cluster.
 package cluster
 
 import "fmt"
@@ -28,6 +36,15 @@ type Topology struct {
 // Size returns the total number of GPUs described by the topology.
 func (t Topology) Size() int { return t.NumNodes * t.GPUsPerNode }
 
+// NumRacks returns the number of racks the topology groups its nodes
+// into (1 when no rack grouping is configured).
+func (t Topology) NumRacks() int {
+	if t.NodesPerRack <= 0 {
+		return 1
+	}
+	return (t.NumNodes + t.NodesPerRack - 1) / t.NodesPerRack
+}
+
 // Validate reports whether the topology is well formed.
 func (t Topology) Validate() error {
 	if t.NumNodes <= 0 {
@@ -42,15 +59,52 @@ func (t Topology) Validate() error {
 	return nil
 }
 
+// View is the read-only query surface placement policies work against.
+// *Cluster implements it; the engine passes its cluster to placers, and
+// every allocation-*choosing* helper (PackJob, the score-order walks in
+// internal/core, ...) is typed against View so the compiler separates
+// querying occupancy from mutating it. All methods are O(1) or bounded
+// by their output/argument size — none rescans the whole cluster.
+type View interface {
+	// Shape.
+	Topology() Topology
+	Size() int
+	NumNodes() int
+	GPUsPerNode() int
+	NumRacks() int
+	NodeOf(g GPUID) NodeID
+	RackOf(g GPUID) int
+	GPUsOnNode(n NodeID) []GPUID
+
+	// Occupancy, answered from the incremental indexes.
+	NumFree() int
+	FreeOnNode(n NodeID) int
+	FreeOnRack(r int) int
+	IsFree(g GPUID) bool
+	Owner(g GPUID) int
+	FreeGPUs() []GPUID
+
+	// Span accounting for the locality model.
+	NodesSpanned(gpus []GPUID) int
+	RacksSpanned(gpus []GPUID) int
+}
+
 // Cluster is the allocatable state of a GPU cluster. It tracks which GPUs
-// are free and which job owns each busy GPU. Cluster is not safe for
-// concurrent use; the round-based engine drives it from a single goroutine.
+// are free and which job owns each busy GPU, plus incrementally-maintained
+// free counts per node and per rack. Cluster is not safe for concurrent
+// use; the round-based engine drives it from a single goroutine.
 type Cluster struct {
 	topo  Topology
 	free  []bool // free[g] reports whether GPU g is unallocated
 	owner []int  // owner[g] is the job ID holding GPU g, or -1
 	nfree int
+
+	// Occupancy indexes, updated on every Allocate/Release.
+	freeNode []int // freeNode[n] counts free GPUs on node n
+	freeRack []int // freeRack[r] counts free GPUs in rack r
 }
+
+var _ View = (*Cluster)(nil)
 
 // New creates a cluster with the given topology, all GPUs free.
 // It panics if the topology is invalid (a programming error, not an input
@@ -61,16 +115,37 @@ func New(topo Topology) *Cluster {
 	}
 	n := topo.Size()
 	c := &Cluster{
-		topo:  topo,
-		free:  make([]bool, n),
-		owner: make([]int, n),
-		nfree: n,
+		topo:     topo,
+		free:     make([]bool, n),
+		owner:    make([]int, n),
+		nfree:    n,
+		freeNode: make([]int, topo.NumNodes),
+		freeRack: make([]int, topo.NumRacks()),
 	}
 	for i := range c.free {
 		c.free[i] = true
 		c.owner[i] = -1
 	}
+	for n := range c.freeNode {
+		c.freeNode[n] = topo.GPUsPerNode
+	}
+	for r := range c.freeRack {
+		c.freeRack[r] = c.rackSize(r)
+	}
 	return c
+}
+
+// rackSize returns the number of GPUs rack r holds (the last rack may be
+// partial).
+func (c *Cluster) rackSize(r int) int {
+	if c.topo.NodesPerRack <= 0 {
+		return c.topo.Size()
+	}
+	nodes := c.topo.NodesPerRack
+	if first := r * c.topo.NodesPerRack; first+nodes > c.topo.NumNodes {
+		nodes = c.topo.NumNodes - first
+	}
+	return nodes * c.topo.GPUsPerNode
 }
 
 // Topology returns the cluster's topology.
@@ -85,6 +160,10 @@ func (c *Cluster) NumNodes() int { return c.topo.NumNodes }
 // GPUsPerNode returns the number of GPUs per node.
 func (c *Cluster) GPUsPerNode() int { return c.topo.GPUsPerNode }
 
+// NumRacks returns the number of racks (1 when no rack grouping is
+// configured).
+func (c *Cluster) NumRacks() int { return len(c.freeRack) }
+
 // NodeOf returns the node hosting GPU g.
 func (c *Cluster) NodeOf(g GPUID) NodeID {
 	return NodeID(int(g) / c.topo.GPUsPerNode)
@@ -97,6 +176,14 @@ func (c *Cluster) RackOf(g GPUID) int {
 		return 0
 	}
 	return int(c.NodeOf(g)) / c.topo.NodesPerRack
+}
+
+// rackOfNode returns the rack hosting node n.
+func (c *Cluster) rackOfNode(n NodeID) int {
+	if c.topo.NodesPerRack <= 0 {
+		return 0
+	}
+	return int(n) / c.topo.NodesPerRack
 }
 
 // GPUsOnNode returns the IDs of all GPUs on node n, in ascending order.
@@ -119,28 +206,33 @@ func (c *Cluster) IsFree(g GPUID) bool { return c.free[g] }
 func (c *Cluster) Owner(g GPUID) int { return c.owner[g] }
 
 // FreeGPUs returns the IDs of all free GPUs in ascending order. The
-// returned slice is freshly allocated; callers may reorder it.
+// returned slice is freshly allocated; callers may reorder it. Fully-busy
+// nodes are skipped via the per-node index, so the scan is bounded by
+// NumNodes plus the free GPUs actually returned rather than cluster size.
 func (c *Cluster) FreeGPUs() []GPUID {
 	out := make([]GPUID, 0, c.nfree)
-	for g, f := range c.free {
-		if f {
-			out = append(out, GPUID(g))
+	per := c.topo.GPUsPerNode
+	for n, nf := range c.freeNode {
+		if nf == 0 {
+			continue
+		}
+		base := n * per
+		for i := 0; i < per; i++ {
+			if c.free[base+i] {
+				out = append(out, GPUID(base+i))
+			}
 		}
 	}
 	return out
 }
 
-// FreeOnNode returns the number of free GPUs on node n.
-func (c *Cluster) FreeOnNode(n NodeID) int {
-	count := 0
-	base := int(n) * c.topo.GPUsPerNode
-	for i := 0; i < c.topo.GPUsPerNode; i++ {
-		if c.free[base+i] {
-			count++
-		}
-	}
-	return count
-}
+// FreeOnNode returns the number of free GPUs on node n, answered from the
+// incremental index.
+func (c *Cluster) FreeOnNode(n NodeID) int { return c.freeNode[n] }
+
+// FreeOnRack returns the number of free GPUs in rack r, answered from the
+// incremental index.
+func (c *Cluster) FreeOnRack(r int) int { return c.freeRack[r] }
 
 // Allocate marks the given GPUs as owned by job jobID. It panics if any
 // GPU is already allocated: placement policies must only hand out free
@@ -157,6 +249,9 @@ func (c *Cluster) Allocate(jobID int, gpus []GPUID) {
 		c.free[g] = false
 		c.owner[g] = jobID
 		c.nfree--
+		n := c.NodeOf(g)
+		c.freeNode[n]--
+		c.freeRack[c.rackOfNode(n)]--
 	}
 }
 
@@ -172,33 +267,117 @@ func (c *Cluster) Release(gpus []GPUID) {
 		c.free[g] = true
 		c.owner[g] = -1
 		c.nfree++
+		n := c.NodeOf(g)
+		c.freeNode[n]++
+		c.freeRack[c.rackOfNode(n)]++
 	}
 }
 
 // NodesSpanned returns the number of distinct nodes covered by the given
 // GPU set. The locality model charges L_across whenever this exceeds 1.
+// The count is allocation-free: distinct nodes are tracked in a small
+// stack buffer (allocations span at most demand nodes, which is small for
+// every workload the engine simulates), falling back to a linear
+// distinct-scan beyond that.
 func (c *Cluster) NodesSpanned(gpus []GPUID) int {
 	if len(gpus) == 0 {
 		return 0
 	}
-	seen := make(map[NodeID]struct{}, 4)
+	var buf [16]NodeID
+	seen := buf[:0]
 	for _, g := range gpus {
-		seen[c.NodeOf(g)] = struct{}{}
+		n := c.NodeOf(g)
+		dup := false
+		for _, s := range seen {
+			if s == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			if len(seen) < cap(seen) {
+				seen = append(seen, n)
+			} else {
+				// More than 16 distinct nodes: count the rest without the
+				// buffer bound (still allocation-free, quadratic in the
+				// distinct-node count only).
+				return c.nodesSpannedSlow(gpus)
+			}
+		}
 	}
 	return len(seen)
 }
 
+// nodesSpannedSlow counts distinct nodes for very wide allocations by
+// comparing each GPU's node against all earlier GPUs' nodes.
+func (c *Cluster) nodesSpannedSlow(gpus []GPUID) int {
+	count := 0
+	for i, g := range gpus {
+		n := c.NodeOf(g)
+		dup := false
+		for _, h := range gpus[:i] {
+			if c.NodeOf(h) == n {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			count++
+		}
+	}
+	return count
+}
+
 // RacksSpanned returns the number of distinct racks covered by the given
-// GPU set (extension for three-level locality).
+// GPU set (extension for three-level locality). Allocation-free like
+// NodesSpanned.
 func (c *Cluster) RacksSpanned(gpus []GPUID) int {
 	if len(gpus) == 0 {
 		return 0
 	}
-	seen := make(map[int]struct{}, 4)
+	if c.topo.NodesPerRack <= 0 {
+		return 1
+	}
+	var buf [16]int
+	seen := buf[:0]
 	for _, g := range gpus {
-		seen[c.RackOf(g)] = struct{}{}
+		r := c.RackOf(g)
+		dup := false
+		for _, s := range seen {
+			if s == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			if len(seen) == cap(seen) {
+				return c.racksSpannedSlow(gpus)
+			}
+			seen = append(seen, r)
+		}
 	}
 	return len(seen)
+}
+
+// racksSpannedSlow counts distinct racks for sets spanning more than 16
+// racks by comparing each GPU's rack against all earlier GPUs' racks
+// (still allocation-free, mirroring nodesSpannedSlow).
+func (c *Cluster) racksSpannedSlow(gpus []GPUID) int {
+	count := 0
+	for i, g := range gpus {
+		r := c.RackOf(g)
+		dup := false
+		for _, h := range gpus[:i] {
+			if c.RackOf(h) == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			count++
+		}
+	}
+	return count
 }
 
 // Reset frees every GPU, returning the cluster to its initial state.
@@ -208,16 +387,29 @@ func (c *Cluster) Reset() {
 		c.owner[i] = -1
 	}
 	c.nfree = len(c.free)
+	for n := range c.freeNode {
+		c.freeNode[n] = c.topo.GPUsPerNode
+	}
+	for r := range c.freeRack {
+		c.freeRack[r] = c.rackSize(r)
+	}
 }
 
-// CheckInvariants verifies internal consistency (free count matches the
-// free bitmap; owners are -1 exactly on free GPUs). It is used by tests
-// and returns an error describing the first violation found.
+// CheckInvariants verifies internal consistency: the total free count and
+// the per-node and per-rack occupancy indexes all match a from-scratch
+// recount of the free bitmap, and owners are -1 exactly on free GPUs. It
+// is used by tests and the engine's end-of-run audit and returns an error
+// describing the first violation found.
 func (c *Cluster) CheckInvariants() error {
 	count := 0
+	nodeCount := make([]int, c.topo.NumNodes)
+	rackCount := make([]int, len(c.freeRack))
 	for g, f := range c.free {
 		if f {
 			count++
+			n := c.NodeOf(GPUID(g))
+			nodeCount[n]++
+			rackCount[c.rackOfNode(n)]++
 			if c.owner[g] != -1 {
 				return fmt.Errorf("cluster: free GPU %d has owner %d", g, c.owner[g])
 			}
@@ -227,6 +419,16 @@ func (c *Cluster) CheckInvariants() error {
 	}
 	if count != c.nfree {
 		return fmt.Errorf("cluster: free count %d != bitmap count %d", c.nfree, count)
+	}
+	for n, want := range nodeCount {
+		if c.freeNode[n] != want {
+			return fmt.Errorf("cluster: node %d free index %d != bitmap count %d", n, c.freeNode[n], want)
+		}
+	}
+	for r, want := range rackCount {
+		if c.freeRack[r] != want {
+			return fmt.Errorf("cluster: rack %d free index %d != bitmap count %d", r, c.freeRack[r], want)
+		}
 	}
 	return nil
 }

@@ -120,7 +120,7 @@ func (oc *orderCache) get(scorer vprof.Scorer, numClasses, n, gpusPerNode int) *
 // takeBest returns the first demand free GPUs in class order, i.e. the
 // free GPUs with the lowest PM scores (Algorithm 1's selection). The
 // result is nil if fewer than demand GPUs are free.
-func (o *scoreOrder) takeBest(c *cluster.Cluster, class vprof.Class, demand int) []cluster.GPUID {
+func (o *scoreOrder) takeBest(c cluster.View, class vprof.Class, demand int) []cluster.GPUID {
 	out := make([]cluster.GPUID, 0, demand)
 	for _, g := range o.byClass[class] {
 		if !c.IsFree(g) {
@@ -136,7 +136,7 @@ func (o *scoreOrder) takeBest(c *cluster.Cluster, class vprof.Class, demand int)
 
 // takeBestUnder is takeBest restricted to GPUs with score <= v. The class
 // order is ascending by score, so the walk stops at the first GPU over v.
-func (o *scoreOrder) takeBestUnder(c *cluster.Cluster, class vprof.Class, demand int, v float64) []cluster.GPUID {
+func (o *scoreOrder) takeBestUnder(c cluster.View, class vprof.Class, demand int, v float64) []cluster.GPUID {
 	out := make([]cluster.GPUID, 0, demand)
 	for _, g := range o.byClass[class] {
 		if o.scorer.Score(class, int(g)) > v {
@@ -156,7 +156,7 @@ func (o *scoreOrder) takeBestUnder(c *cluster.Cluster, class vprof.Class, demand
 // takeNodeUnder returns the demand lowest-score free GPUs on the node
 // with score <= v, or nil if the node cannot supply them. The second
 // return is the allocation's max score.
-func (o *scoreOrder) takeNodeUnder(c *cluster.Cluster, class vprof.Class, node, demand int, v float64) ([]cluster.GPUID, float64) {
+func (o *scoreOrder) takeNodeUnder(c cluster.View, class vprof.Class, node, demand int, v float64) ([]cluster.GPUID, float64) {
 	out := make([]cluster.GPUID, 0, demand)
 	maxV := 0.0
 	for _, g := range o.nodeByClass[class][node] {

@@ -143,7 +143,7 @@ func (p *PAL) PlaceRound(c *cluster.Cluster, need []*sim.Job, now float64) map[i
 // allocation for the job under the policy's (possibly per-model) penalty,
 // mirroring the engine's Equation-1 locality model including the rack
 // level when enabled.
-func (p *PAL) lvProduct(c *cluster.Cluster, j *sim.Job, gpus []cluster.GPUID) float64 {
+func (p *PAL) lvProduct(c cluster.View, j *sim.Job, gpus []cluster.GPUID) float64 {
 	l := 1.0
 	if c.NodesSpanned(gpus) > 1 {
 		l = p.lacross
@@ -161,7 +161,7 @@ func (p *PAL) lvProduct(c *cluster.Cluster, j *sim.Job, gpus []cluster.GPUID) fl
 
 // placeJob implements Algorithm 2 for one job against the cluster's
 // current free state.
-func (p *PAL) placeJob(c *cluster.Cluster, j *sim.Job) []cluster.GPUID {
+func (p *PAL) placeJob(c cluster.View, j *sim.Job) []cluster.GPUID {
 	d := j.Spec.Demand
 	rackCap := 0
 	if p.lrack > 0 && c.Topology().NodesPerRack > 0 {
@@ -221,7 +221,7 @@ func (p *PAL) placeJob(c *cluster.Cluster, j *sim.Job) []cluster.GPUID {
 // to a single rack, picking the rack whose d-th-best score is lowest. It
 // walks the global ascending score order, so the first rack to
 // accumulate d GPUs wins.
-func (p *PAL) rackUnder(c *cluster.Cluster, class vprof.Class, d int, v float64) []cluster.GPUID {
+func (p *PAL) rackUnder(c cluster.View, class vprof.Class, d int, v float64) []cluster.GPUID {
 	nodesPerRack := c.Topology().NodesPerRack
 	if nodesPerRack <= 0 {
 		return nil
@@ -249,11 +249,16 @@ func (p *PAL) rackUnder(c *cluster.Cluster, class vprof.Class, d int, v float64)
 // score. Ties between equally-good nodes break on a hash of the node ID
 // so packed class-A traffic does not pile onto the lowest-numbered node
 // (see newScoreOrder for why that matters).
-func (p *PAL) packedUnder(c *cluster.Cluster, class vprof.Class, d int, v float64) []cluster.GPUID {
+func (p *PAL) packedUnder(c cluster.View, class vprof.Class, d int, v float64) []cluster.GPUID {
 	var best []cluster.GPUID
 	bestMax := 0.0
 	bestTie := uint64(0)
 	for n := 0; n < c.NumNodes(); n++ {
+		// The occupancy index rules out undersupplied nodes in O(1),
+		// before the per-GPU score walk.
+		if c.FreeOnNode(cluster.NodeID(n)) < d {
+			continue
+		}
 		alloc, maxV := p.order.takeNodeUnder(c, class, n, d, v)
 		if alloc == nil {
 			continue

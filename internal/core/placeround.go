@@ -76,7 +76,7 @@ func placeWithHysteresis(
 
 // reusablePrev returns the job's previous allocation if it is intact and
 // entirely free, else nil.
-func reusablePrev(c *cluster.Cluster, j *sim.Job) []cluster.GPUID {
+func reusablePrev(c cluster.View, j *sim.Job) []cluster.GPUID {
 	prev := j.PrevAlloc
 	if len(prev) != j.Spec.Demand {
 		return nil

@@ -45,7 +45,7 @@ func (p *PMFirst) Sticky() bool { return false }
 
 // ensureOrder refreshes the precomputed score orders (rebuilding when a
 // dynamic scorer's version moves).
-func (p *PMFirst) ensureOrder(c *cluster.Cluster) {
+func (p *PMFirst) ensureOrder(c cluster.View) {
 	p.order = p.cache.get(p.scorer, p.scorer.NumClasses(), c.Size(), c.GPUsPerNode())
 }
 

@@ -71,10 +71,11 @@ func (p *Packed) PlaceRound(c *cluster.Cluster, need []*sim.Job, _ float64) map[
 }
 
 // PackJob computes a packed allocation of demand GPUs from the cluster's
-// current free state. r breaks ties between equally-attractive nodes and
-// picks which free GPUs of the chosen node to use; pass nil for fully
-// deterministic (lowest-ID) behavior.
-func PackJob(c *cluster.Cluster, demand int, r *rng.RNG) []cluster.GPUID {
+// current free state, querying only the read-only occupancy view (the
+// per-node free counts are O(1) index lookups). r breaks ties between
+// equally-attractive nodes and picks which free GPUs of the chosen node
+// to use; pass nil for fully deterministic (lowest-ID) behavior.
+func PackJob(c cluster.View, demand int, r *rng.RNG) []cluster.GPUID {
 	type nodeFree struct {
 		node cluster.NodeID
 		free int
@@ -137,7 +138,7 @@ func PackJob(c *cluster.Cluster, demand int, r *rng.RNG) []cluster.GPUID {
 
 // takeFromNode returns n free GPUs on the node: a random subset when r is
 // non-nil, else the lowest IDs.
-func takeFromNode(c *cluster.Cluster, node cluster.NodeID, n int, r *rng.RNG) []cluster.GPUID {
+func takeFromNode(c cluster.View, node cluster.NodeID, n int, r *rng.RNG) []cluster.GPUID {
 	free := make([]cluster.GPUID, 0, c.GPUsPerNode())
 	for _, g := range c.GPUsOnNode(node) {
 		if c.IsFree(g) {

@@ -362,12 +362,18 @@ func (s *Spec) normalize() {
 // Validate checks the normalized spec for structural errors that do not
 // require building anything. Name resolution against the policy
 // registries happens in Build, where construction can fail anyway.
+// Every error states the offending value *and* the expected range, so a
+// bad spec is fixable from the message alone.
 func (s *Spec) Validate() error {
-	if s.Cluster.Nodes <= 0 || s.Cluster.GPUsPerNode <= 0 {
-		return fmt.Errorf("scenario %s: cluster %d nodes × %d GPUs", s.Name, s.Cluster.Nodes, s.Cluster.GPUsPerNode)
+	if s.Cluster.Nodes <= 0 {
+		return fmt.Errorf("scenario %s: cluster nodes %d, want >= 1", s.Name, s.Cluster.Nodes)
+	}
+	if s.Cluster.GPUsPerNode <= 0 {
+		return fmt.Errorf("scenario %s: cluster gpus_per_node %d, want >= 1", s.Name, s.Cluster.GPUsPerNode)
 	}
 	if s.Cluster.NodesPerRack < 0 {
-		return fmt.Errorf("scenario %s: nodes_per_rack %d", s.Name, s.Cluster.NodesPerRack)
+		return fmt.Errorf("scenario %s: cluster nodes_per_rack %d, want >= 0 (0 disables rack grouping)",
+			s.Name, s.Cluster.NodesPerRack)
 	}
 	switch s.Profile.Source {
 	case "longhorn", "frontera", "testbed":
@@ -385,8 +391,11 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario %s: sia-philly workload index %d, want >= 1", s.Name, s.Workload.Workload)
 		}
 	case "synergy":
-		if s.Workload.JobsPerHour <= 0 || s.Workload.NumJobs <= 0 {
-			return fmt.Errorf("scenario %s: synergy needs positive jobs_per_hour and num_jobs", s.Name)
+		if s.Workload.JobsPerHour <= 0 {
+			return fmt.Errorf("scenario %s: synergy jobs_per_hour %g, want > 0", s.Name, s.Workload.JobsPerHour)
+		}
+		if s.Workload.NumJobs <= 0 {
+			return fmt.Errorf("scenario %s: synergy num_jobs %d, want >= 1", s.Name, s.Workload.NumJobs)
 		}
 	case "synthetic":
 		if err := s.synthParams().Validate(); err != nil {
@@ -406,11 +415,21 @@ func (s *Spec) Validate() error {
 	if s.Locality.Lrack < 0 || (s.Locality.Lrack > 0 && s.Locality.Lrack < 1) {
 		return fmt.Errorf("scenario %s: lrack %g, want 0 (disabled) or >= 1", s.Name, s.Locality.Lrack)
 	}
-	if s.Engine.RoundSec < 0 || s.Engine.MaxRounds < 0 {
-		return fmt.Errorf("scenario %s: negative engine knobs", s.Name)
+	if s.Engine.RoundSec < 0 {
+		return fmt.Errorf("scenario %s: engine round_sec %g, want >= 0 (0 selects the 300 s default)",
+			s.Name, s.Engine.RoundSec)
 	}
-	if s.Engine.MeasureFirst < 0 || s.Engine.MeasureLast < 0 {
-		return fmt.Errorf("scenario %s: negative measurement window", s.Name)
+	if s.Engine.MaxRounds < 0 {
+		return fmt.Errorf("scenario %s: engine max_rounds %d, want >= 0 (0 selects the 1,000,000-round default)",
+			s.Name, s.Engine.MaxRounds)
+	}
+	if s.Engine.MeasureFirst < 0 {
+		return fmt.Errorf("scenario %s: engine measure_first %d, want >= 0 (a job ID)",
+			s.Name, s.Engine.MeasureFirst)
+	}
+	if s.Engine.MeasureLast < 0 {
+		return fmt.Errorf("scenario %s: engine measure_last %d, want >= 0 (a job ID; 0 means the whole trace)",
+			s.Name, s.Engine.MeasureLast)
 	}
 	m := s.Metrics
 	if !m.Enabled {
@@ -419,8 +438,17 @@ func (s *Spec) Validate() error {
 		}
 		return nil
 	}
-	if m.IntervalRounds < 0 || m.MaxSamples < 0 || m.HistBins < 0 {
-		return fmt.Errorf("scenario %s: negative metrics knobs", s.Name)
+	if m.IntervalRounds < 0 {
+		return fmt.Errorf("scenario %s: metrics interval_rounds %d, want >= 0 (0 selects every round)",
+			s.Name, m.IntervalRounds)
+	}
+	if m.MaxSamples < 0 {
+		return fmt.Errorf("scenario %s: metrics max_samples %d, want >= 0 (0 selects the default %d)",
+			s.Name, m.MaxSamples, metrics.DefaultMaxSamples)
+	}
+	if m.HistBins < 0 {
+		return fmt.Errorf("scenario %s: metrics hist_bins %d, want >= 0 (0 selects the default %d)",
+			s.Name, m.HistBins, metrics.DefaultHistBins)
 	}
 	for _, name := range m.Series {
 		if !metrics.ValidSeries(name) {

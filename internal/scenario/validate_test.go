@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every Validate error must state the offending value AND the expected
+// range, so a bad spec is fixable from the message alone. The table
+// drives each invalid field through Parse (the path CLI users hit) and
+// asserts the message names the field and its constraint.
+func TestValidateMessagesStateConstraints(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want []string // substrings the error must contain
+	}{
+		{
+			name: "negative nodes",
+			spec: `{"cluster": {"nodes": -3}}`,
+			want: []string{"cluster nodes -3", "want >= 1"},
+		},
+		{
+			name: "negative gpus_per_node",
+			spec: `{"cluster": {"nodes": 4, "gpus_per_node": -1}}`,
+			want: []string{"gpus_per_node -1", "want >= 1"},
+		},
+		{
+			name: "negative nodes_per_rack",
+			spec: `{"cluster": {"nodes": 4, "nodes_per_rack": -2}}`,
+			want: []string{"nodes_per_rack -2", "want >= 0", "disables rack grouping"},
+		},
+		{
+			name: "unknown profile source",
+			spec: `{"profile": {"source": "summit"}}`,
+			want: []string{`unknown profile source "summit"`, "longhorn, frontera, testbed or file"},
+		},
+		{
+			name: "file profile without path",
+			spec: `{"profile": {"source": "file"}}`,
+			want: []string{`profile source "file" needs a path`},
+		},
+		{
+			name: "unknown workload source",
+			spec: `{"workload": {"source": "alibaba"}}`,
+			want: []string{`unknown workload source "alibaba"`, "sia-philly, synergy, synthetic or file"},
+		},
+		{
+			name: "sia workload index below 1",
+			spec: `{"workload": {"source": "sia-philly", "workload": -1}}`,
+			want: []string{"workload index -1", "want >= 1"},
+		},
+		{
+			name: "negative synergy rate",
+			spec: `{"workload": {"source": "synergy", "jobs_per_hour": -4}}`,
+			want: []string{"jobs_per_hour -4", "want > 0"},
+		},
+		{
+			name: "negative synergy num_jobs",
+			spec: `{"workload": {"source": "synergy", "jobs_per_hour": 8, "num_jobs": -10}}`,
+			want: []string{"num_jobs -10", "want >= 1"},
+		},
+		{
+			name: "lacross below 1",
+			spec: `{"locality": {"lacross": 0.5}}`,
+			want: []string{"lacross 0.5", "want >= 1"},
+		},
+		{
+			name: "lrack between 0 and 1",
+			spec: `{"locality": {"lrack": 0.7}}`,
+			want: []string{"lrack 0.7", "want 0 (disabled) or >= 1"},
+		},
+		{
+			name: "negative round_sec",
+			spec: `{"engine": {"round_sec": -300}}`,
+			want: []string{"round_sec -300", "want >= 0", "300 s default"},
+		},
+		{
+			name: "negative max_rounds",
+			spec: `{"engine": {"max_rounds": -1}}`,
+			want: []string{"max_rounds -1", "want >= 0", "1,000,000-round default"},
+		},
+		{
+			name: "negative measure_first",
+			spec: `{"engine": {"measure_first": -5}}`,
+			want: []string{"measure_first -5", "want >= 0"},
+		},
+		{
+			name: "negative measure_last",
+			spec: `{"engine": {"measure_last": -5}}`,
+			want: []string{"measure_last -5", "want >= 0"},
+		},
+		{
+			name: "metrics configured but disabled",
+			spec: `{"metrics": {"hist_bins": 32}}`,
+			want: []string{"metrics configured but not enabled", `set "enabled": true`},
+		},
+		{
+			name: "negative metrics interval",
+			spec: `{"metrics": {"enabled": true, "interval_rounds": -2}}`,
+			want: []string{"interval_rounds -2", "want >= 0"},
+		},
+		{
+			name: "negative metrics max_samples",
+			spec: `{"metrics": {"enabled": true, "max_samples": -1}}`,
+			want: []string{"max_samples -1", "want >= 0", "default"},
+		},
+		{
+			name: "negative metrics hist_bins",
+			spec: `{"metrics": {"enabled": true, "hist_bins": -8}}`,
+			want: []string{"hist_bins -8", "want >= 0", "default"},
+		},
+		{
+			name: "unknown metrics series",
+			spec: `{"metrics": {"enabled": true, "series": ["gpu_temperature"]}}`,
+			want: []string{`unknown metrics series "gpu_temperature"`, "have ["},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.spec))
+			if err == nil {
+				t.Fatalf("Parse accepted invalid spec %s", tc.spec)
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not state %q", err, want)
+				}
+			}
+		})
+	}
+}

@@ -4,10 +4,17 @@
 // Shortest Remaining Time First. Scheduling is orthogonal to placement in
 // the Blox architecture: these policies decide *which* jobs run each
 // round; placement decides *where*.
+//
+// All three policies order by strict total orders (unique job IDs break
+// every tie), so they expose sim.TotalOrderScheduler for the engine's
+// incremental ordering, and sim.PartitionStableScheduler so dense traces
+// can bulk-advance through rounds whose running/waiting split provably
+// cannot change.
 package sched
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -21,17 +28,30 @@ type FIFO struct{}
 // Name implements sim.Scheduler.
 func (FIFO) Name() string { return "fifo" }
 
-// Order implements sim.Scheduler: ascending arrival, ties by job ID.
-func (FIFO) Order(jobs []*sim.Job, _ float64) []*sim.Job {
+// Less implements sim.TotalOrderScheduler: ascending arrival, ties by
+// job ID (a strict total order — IDs are unique).
+func (FIFO) Less(a, b *sim.Job, _ float64) bool {
+	if a.Spec.Arrival != b.Spec.Arrival {
+		return a.Spec.Arrival < b.Spec.Arrival
+	}
+	return a.Spec.ID < b.Spec.ID
+}
+
+// Order implements sim.Scheduler as the Less-induced sequence.
+func (f FIFO) Order(jobs []*sim.Job, now float64) []*sim.Job {
 	out := append([]*sim.Job(nil), jobs...)
-	sort.SliceStable(out, func(a, b int) bool {
-		ja, jb := out[a], out[b]
-		if ja.Spec.Arrival != jb.Spec.Arrival {
-			return ja.Spec.Arrival < jb.Spec.Arrival
-		}
-		return ja.Spec.ID < jb.Spec.ID
-	})
+	sort.SliceStable(out, func(a, b int) bool { return f.Less(out[a], out[b], now) })
 	return out
+}
+
+// AttainedCeilings implements sim.PartitionStableScheduler: FIFO keys
+// (arrival, ID) are frozen for the lifetime of a job, so with a fixed
+// active set the ordering — and the running/waiting partition — can
+// never change, no matter how much service running jobs accumulate.
+func (FIFO) AttainedCeilings(running, _ []*sim.Job, ceilings []float64) {
+	for i := range running {
+		ceilings[i] = math.Inf(1)
+	}
 }
 
 // LAS implements Tiresias's discretized Least-Attained-Service scheduler
@@ -55,34 +75,83 @@ const DefaultLASThreshold = 8 * 3600
 // Name implements sim.Scheduler.
 func (LAS) Name() string { return "las" }
 
-// Order implements sim.Scheduler.
-func (l LAS) Order(jobs []*sim.Job, _ float64) []*sim.Job {
-	threshold := l.Threshold
-	if threshold <= 0 {
-		threshold = DefaultLASThreshold
+// threshold returns the effective queue-demotion boundary.
+func (l LAS) threshold() float64 {
+	if l.Threshold <= 0 {
+		return DefaultLASThreshold
 	}
+	return l.Threshold
+}
+
+// queueOf returns the job's two-level queue: 0 below the threshold, 1
+// after demotion.
+func (l LAS) queueOf(j *sim.Job) int {
+	if j.Attained < l.threshold() {
+		return 0
+	}
+	return 1
+}
+
+// Less implements sim.TotalOrderScheduler: queue level, then attained
+// service, then arrival, then job ID (a strict total order).
+func (l LAS) Less(a, b *sim.Job, _ float64) bool {
+	qa, qb := l.queueOf(a), l.queueOf(b)
+	if qa != qb {
+		return qa < qb
+	}
+	if a.Attained != b.Attained {
+		return a.Attained < b.Attained
+	}
+	if a.Spec.Arrival != b.Spec.Arrival {
+		return a.Spec.Arrival < b.Spec.Arrival
+	}
+	return a.Spec.ID < b.Spec.ID
+}
+
+// Order implements sim.Scheduler as the Less-induced sequence.
+func (l LAS) Order(jobs []*sim.Job, now float64) []*sim.Job {
 	out := append([]*sim.Job(nil), jobs...)
-	queueOf := func(j *sim.Job) int {
-		if j.Attained < threshold {
-			return 0
-		}
-		return 1
-	}
-	sort.SliceStable(out, func(a, b int) bool {
-		ja, jb := out[a], out[b]
-		qa, qb := queueOf(ja), queueOf(jb)
-		if qa != qb {
-			return qa < qb
-		}
-		if ja.Attained != jb.Attained {
-			return ja.Attained < jb.Attained
-		}
-		if ja.Spec.Arrival != jb.Spec.Arrival {
-			return ja.Spec.Arrival < jb.Spec.Arrival
-		}
-		return ja.Spec.ID < jb.Spec.ID
-	})
+	sort.SliceStable(out, func(a, b int) bool { return l.Less(out[a], out[b], now) })
 	return out
+}
+
+// AttainedCeilings implements sim.PartitionStableScheduler. LAS keys
+// *do* evolve while a job runs — attained service grows, and crossing
+// the two-level threshold demotes the job — so a running job stays
+// provably ahead of every waiting job only until it (a) reaches the
+// least attained service among waiting jobs in its own queue (a frozen
+// quantity: waiting jobs accrue nothing), or (b) crosses the demotion
+// threshold, which reorders it against every waiter at once. The
+// ceiling is the nearer of the two; the engine ends a bulk span before
+// executing any round at which a running job has reached it. Both
+// bounds are conservative at ties (equality can still order the runner
+// first via the arrival/ID tiebreak), which costs span length, never
+// correctness.
+func (l LAS) AttainedCeilings(running, waiting []*sim.Job, ceilings []float64) {
+	minWait := [2]float64{math.Inf(1), math.Inf(1)}
+	for _, w := range waiting {
+		if q := l.queueOf(w); w.Attained < minWait[q] {
+			minWait[q] = w.Attained
+		}
+	}
+	for i, r := range running {
+		q := l.queueOf(r)
+		ceil := minWait[q]
+		if q == 0 && l.threshold() < ceil {
+			ceil = l.threshold()
+		}
+		if q == 1 && minWait[0] < math.Inf(1) {
+			// The job was still in the high-priority queue when this
+			// round's order was computed, but its advance carried it over
+			// the threshold (a demoted runner never coexists with a
+			// high-priority waiter at sort time: the waiter would order
+			// first and the prefix cut would have preempted the runner).
+			// The very next sort will see the demotion and may reshuffle
+			// the partition, so the span must not skip any round.
+			ceil = math.Inf(-1)
+		}
+		ceilings[i] = ceil
+	}
 }
 
 // SRTF performs preemptive shortest-remaining-time-first scheduling: jobs
@@ -93,20 +162,35 @@ type SRTF struct{}
 // Name implements sim.Scheduler.
 func (SRTF) Name() string { return "srtf" }
 
-// Order implements sim.Scheduler.
-func (SRTF) Order(jobs []*sim.Job, _ float64) []*sim.Job {
+// Less implements sim.TotalOrderScheduler: remaining work, then
+// arrival, then job ID (a strict total order).
+func (SRTF) Less(a, b *sim.Job, _ float64) bool {
+	if a.Remaining != b.Remaining {
+		return a.Remaining < b.Remaining
+	}
+	if a.Spec.Arrival != b.Spec.Arrival {
+		return a.Spec.Arrival < b.Spec.Arrival
+	}
+	return a.Spec.ID < b.Spec.ID
+}
+
+// Order implements sim.Scheduler as the Less-induced sequence.
+func (s SRTF) Order(jobs []*sim.Job, now float64) []*sim.Job {
 	out := append([]*sim.Job(nil), jobs...)
-	sort.SliceStable(out, func(a, b int) bool {
-		ja, jb := out[a], out[b]
-		if ja.Remaining != jb.Remaining {
-			return ja.Remaining < jb.Remaining
-		}
-		if ja.Spec.Arrival != jb.Spec.Arrival {
-			return ja.Spec.Arrival < jb.Spec.Arrival
-		}
-		return ja.Spec.ID < jb.Spec.ID
-	})
+	sort.SliceStable(out, func(a, b int) bool { return s.Less(out[a], out[b], now) })
 	return out
+}
+
+// AttainedCeilings implements sim.PartitionStableScheduler. SRTF keys
+// move monotonically in the safe direction: a running job's remaining
+// work only decreases, so it can only migrate *earlier* in the order,
+// while waiting jobs are frozen. A running job therefore never falls
+// behind a waiting job it was ahead of, and the partition holds for as
+// long as nothing arrives or finishes — the ceilings are unbounded.
+func (SRTF) AttainedCeilings(running, _ []*sim.Job, ceilings []float64) {
+	for i := range running {
+		ceilings[i] = math.Inf(1)
+	}
 }
 
 // Builder constructs a scheduler from named numeric parameters (e.g.
@@ -207,3 +291,14 @@ func ByName(name string) sim.Scheduler {
 	}
 	return s
 }
+
+// Compile-time checks: the three paper schedulers expose both engine
+// capability interfaces.
+var (
+	_ sim.TotalOrderScheduler      = FIFO{}
+	_ sim.TotalOrderScheduler      = LAS{}
+	_ sim.TotalOrderScheduler      = SRTF{}
+	_ sim.PartitionStableScheduler = FIFO{}
+	_ sim.PartitionStableScheduler = LAS{}
+	_ sim.PartitionStableScheduler = SRTF{}
+)

@@ -1,0 +1,184 @@
+package sim_test
+
+// Equivalence guard for the incremental engine core on *dense* traces —
+// the regime PR 2's sparse fast-forward never touched. For every case
+// below the incremental engine (dirty-set ordering, skipped no-op
+// placement, event-horizon bulk advance through busy rounds with a
+// standing queue) must produce a Result byte-identical to the retained
+// naive reference loop, with and without a metrics sink attached. The
+// cases are chosen to exercise the dense machinery hard: saturated Sia
+// and Synergy queues under FIFO and LAS, and a preemption-heavy
+// synthetic workload whose LAS priorities churn the partition
+// constantly (the regression regime for the demotion-during-advance
+// ceiling bug).
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/place"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vprof"
+)
+
+func denseCases(t *testing.T) []ffCase {
+	t.Helper()
+	burstyPreempt, err := trace.Synth(trace.SynthParams{
+		Name:        "dense-preempt",
+		NumJobs:     250,
+		Seed:        0xBEEF,
+		Arrivals:    trace.ArrivalBursty,
+		JobsPerHour: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	synParams := trace.DefaultSynergyParams(12) // saturating on 32 GPUs
+	synParams.NumJobs = 250
+	return []ffCase{
+		{
+			name:   "dense-sia5/las/packed-sticky",
+			trace:  trace.SiaPhilly(trace.DefaultSiaPhillyParams(), 5),
+			nodes:  8,
+			sched:  sched.LAS{},
+			placer: func() sim.Placer { return place.NewPacked(true, 7) },
+		},
+		{
+			name:   "dense-sia5/fifo/packed-sticky",
+			trace:  trace.SiaPhilly(trace.DefaultSiaPhillyParams(), 5),
+			nodes:  8,
+			sched:  sched.FIFO{},
+			placer: func() sim.Placer { return place.NewPacked(true, 7) },
+		},
+		{
+			name:   "dense-sia3/srtf/random-sticky",
+			trace:  trace.SiaPhilly(trace.DefaultSiaPhillyParams(), 3),
+			nodes:  8,
+			sched:  sched.SRTF{},
+			placer: func() sim.Placer { return place.NewRandom(true, 13) },
+		},
+		{
+			name:   "dense-synergy/las/packed-sticky",
+			trace:  trace.Synergy(synParams),
+			nodes:  8,
+			sched:  sched.LAS{},
+			placer: func() sim.Placer { return place.NewPacked(true, 9) },
+		},
+		{
+			// Preemption-heavy: a tiny LAS threshold demotes every job
+			// after a few rounds of service, so fresh arrivals preempt
+			// runners all run long, and the order horizon terminates spans
+			// constantly. This is the stress case for the attained
+			// ceilings.
+			name:   "preempt-heavy/las-lowthresh/packed-sticky",
+			trace:  burstyPreempt,
+			nodes:  8,
+			sched:  sched.LAS{Threshold: 1800},
+			placer: func() sim.Placer { return place.NewPacked(true, 21) },
+		},
+	}
+}
+
+func TestDenseIncrementalByteIdentical(t *testing.T) {
+	sim.ResetBulkStats()
+	for _, c := range denseCases(t) {
+		c := c
+		for _, withMetrics := range []bool{false, true} {
+			withMetrics := withMetrics
+			t.Run(fmt.Sprintf("%s/metrics=%v", c.name, withMetrics), func(t *testing.T) {
+				naiveCfg := c.config(t, true)
+				fastCfg := c.config(t, false)
+				if withMetrics {
+					naiveCfg.Metrics = collectorFor(t, c, 1)
+					fastCfg.Metrics = collectorFor(t, c, 1)
+				}
+				naive, err := sim.Run(naiveCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast, err := sim.Run(fastCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(naive.PlaceTimes) != len(fast.PlaceTimes) {
+					t.Errorf("PlaceTimes count: naive %d, incremental %d",
+						len(naive.PlaceTimes), len(fast.PlaceTimes))
+				}
+				if withMetrics {
+					np, fp := metrics.FromResult(naive), metrics.FromResult(fast)
+					if np == nil || fp == nil {
+						t.Fatal("payload missing from an instrumented run")
+					}
+					if !reflect.DeepEqual(np, fp) {
+						t.Error("metrics payload not byte-identical across the incremental engine")
+					}
+				}
+				// Wall-clock values and the sink pointers are the only
+				// legitimately differing fields; blank them before the
+				// exact comparison.
+				naive.PlaceTimes, fast.PlaceTimes = nil, nil
+				naive.Metrics, fast.Metrics = nil, nil
+				if !reflect.DeepEqual(naive, fast) {
+					for i := range naive.Jobs {
+						if !reflect.DeepEqual(naive.Jobs[i], fast.Jobs[i]) {
+							t.Errorf("job %d diverged:\n  naive       %+v\n  incremental %+v",
+								i, *naive.Jobs[i], *fast.Jobs[i])
+							break
+						}
+					}
+					t.Fatal("incremental result not byte-identical to naive reference loop")
+				}
+			})
+		}
+	}
+	// Engagement guard: the suite must actually have exercised the dense
+	// bulk path (spans entered with a non-empty waiting set) — otherwise
+	// the byte-identity above is vacuous.
+	if _, dense := sim.BulkStats(); dense == 0 {
+		t.Error("dense bulk-advance path never engaged across the dense suite")
+	}
+}
+
+// TestDenseIncrementalActuallyEngages pins the dense path's engagement
+// on a minimal saturated workload, independent of the suite above: four
+// long FIFO jobs on a cluster that fits only two must bulk-advance the
+// stretches between completions even though jobs are waiting.
+func TestDenseIncrementalActuallyEngages(t *testing.T) {
+	tr := &trace.Trace{Name: "dense-mini", Jobs: []trace.JobSpec{
+		{ID: 0, Arrival: 0, Demand: 4, Work: 3e5},
+		{ID: 1, Arrival: 0, Demand: 4, Work: 3e5},
+		{ID: 2, Arrival: 0, Demand: 4, Work: 3e5},
+		{ID: 3, Arrival: 0, Demand: 4, Work: 3e5},
+	}}
+	cfg := sim.Config{
+		Topology:    clusterTopology(2), // 8 GPUs: two jobs run, two wait
+		Trace:       tr,
+		Sched:       sched.FIFO{},
+		Placer:      place.NewPacked(true, 1),
+		TrueProfile: vprof.GenerateLonghorn(8, 1),
+		Lacross:     1.5,
+	}
+	sim.ResetBulkStats()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped, dense := sim.BulkStats()
+	if dense == 0 {
+		t.Error("no dense spans on a saturated FIFO trace")
+	}
+	// ~1000+ progress rounds per phase; virtually all must be skipped.
+	if res.Rounds < 1000 || skipped < int64(res.Rounds)*9/10 {
+		t.Errorf("rounds=%d skipped=%d; dense bulk advance not skipping the busy stretches",
+			res.Rounds, skipped)
+	}
+	// Placement must have been consulted only when occupancy changed
+	// (two initial placements + two promotions after completions).
+	if len(res.PlaceTimes) > 6 {
+		t.Errorf("placement called %d times, want <= 6", len(res.PlaceTimes))
+	}
+}

@@ -1,0 +1,17 @@
+package sim
+
+// Test-only access to the bulk-advance counters (see stepping.go). The
+// accessors live in an export_test file so the instrumentation never
+// becomes public API.
+
+// ResetBulkStats zeroes the process-global bulk-advance counters.
+func ResetBulkStats() {
+	bulkRoundsSkipped.Store(0)
+	denseSpans.Store(0)
+}
+
+// BulkStats returns (rounds skipped inside bulk spans, spans entered
+// with a non-empty waiting set) since the last reset.
+func BulkStats() (skipped, dense int64) {
+	return bulkRoundsSkipped.Load(), denseSpans.Load()
+}

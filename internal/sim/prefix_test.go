@@ -1,0 +1,93 @@
+package sim
+
+// White-box unit tests for schedulablePrefix — the "mark the queue at
+// cluster size" walk (§III-B, Fig. 4). Its edge cases were previously
+// covered only indirectly through whole-engine runs; the incremental
+// core leans on its exact semantics (the prefix is a pure function of
+// order, demands and cluster size), so they are pinned here directly.
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func prefixJobs(demands ...int) []*Job {
+	out := make([]*Job, len(demands))
+	for i, d := range demands {
+		out[i] = &Job{Spec: trace.JobSpec{ID: i, Demand: d}}
+	}
+	return out
+}
+
+func prefixIDs(jobs []*Job) []int {
+	out := make([]int, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Spec.ID
+	}
+	return out
+}
+
+func TestSchedulablePrefix(t *testing.T) {
+	cases := []struct {
+		name    string
+		demands []int
+		size    int
+		want    int // prefix length
+	}{
+		{name: "empty ordered set", demands: nil, size: 8, want: 0},
+		{name: "everything fits exactly", demands: []int{4, 2, 2}, size: 8, want: 3},
+		{name: "everything fits with slack", demands: []int{1, 2}, size: 8, want: 2},
+		{
+			// A head-of-queue job larger than the whole cluster blocks
+			// everything: the walk stops at the first non-fitting job, with
+			// no backfilling around it (AdmitFits normally rejects such
+			// jobs; a scheduler is still allowed to order one first).
+			name: "first job larger than cluster", demands: []int{10, 1, 1}, size: 8, want: 0,
+		},
+		{
+			// The cut is *not* at the first individually-large job but at
+			// the first cumulative overflow.
+			name: "cut at cumulative overflow", demands: []int{4, 3, 2, 1}, size: 8, want: 2,
+		},
+		{
+			// Jobs behind the cut are excluded even if they would fit in
+			// the leftover capacity (demand 1 <= 8-7): no backfilling.
+			name: "no backfill behind the cut", demands: []int{4, 3, 2, 1}, size: 8, want: 2,
+		},
+		{
+			// Prefix cut mid-tie: three equal-demand jobs, capacity for
+			// two. The cut must fall exactly after the second, keeping the
+			// scheduler's tiebreak order authoritative about *which* equal
+			// jobs run.
+			name: "cut mid-tie", demands: []int{3, 3, 3}, size: 6, want: 2,
+		},
+		{name: "exact fill then cut", demands: []int{4, 4, 1}, size: 8, want: 2},
+		{name: "zero-capacity cluster", demands: []int{1}, size: 0, want: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ordered := prefixJobs(tc.demands...)
+			got := schedulablePrefix(ordered, tc.size)
+			if len(got) != tc.want {
+				t.Fatalf("prefix length = %d, want %d (demands %v, size %d; got IDs %v)",
+					len(got), tc.want, tc.demands, tc.size, prefixIDs(got))
+			}
+			// The prefix must be exactly the leading slice of the order.
+			for i, j := range got {
+				if j != ordered[i] {
+					t.Fatalf("prefix[%d] = job %d, want job %d (must be a leading slice)",
+						i, j.Spec.ID, ordered[i].Spec.ID)
+				}
+			}
+			// And its cumulative demand must fit.
+			used := 0
+			for _, j := range got {
+				used += j.Spec.Demand
+			}
+			if used > tc.size {
+				t.Fatalf("prefix demand %d exceeds cluster size %d", used, tc.size)
+			}
+		})
+	}
+}

@@ -56,6 +56,12 @@ type Job struct {
 	// migrated marks that the allocation changed this round, charging
 	// the migration penalty during advance.
 	migrated bool
+	// inPrefix and wasRunning are round-local scratch marks used by the
+	// placement phase in lieu of per-round map allocations. Both are
+	// always false outside place(), so results stay comparable with
+	// reflect.DeepEqual across engine paths.
+	inPrefix   bool
+	wasRunning bool
 }
 
 // JCT returns the job's completion time minus its arrival (valid once Done).
@@ -93,7 +99,9 @@ type Scheduler interface {
 // allocation). PlaceRound is called once per round with the jobs that
 // need a (new) allocation, in scheduling-priority order; the cluster's
 // free state already excludes GPUs retained by sticky jobs. The returned
-// map must assign each job exactly Spec.Demand free GPUs.
+// map must assign each job exactly Spec.Demand free GPUs. The need
+// slice is engine-owned scratch, valid only for the duration of the
+// call — copy it if the policy retains state across rounds.
 //
 // Sticky reports the placement flavor (§IV-A1): sticky placers keep a
 // running job's allocation until it completes or is preempted; non-sticky
@@ -440,14 +448,26 @@ type engine struct {
 	active      []*Job // arrived, admitted, not finished
 	rejected    int
 
+	// Incremental-ordering state: ordered caches the previous round's
+	// scheduling order; membershipChanged marks that the active set
+	// gained or lost jobs since it was built, forcing a full re-sort.
+	ordered           []*Job
+	membershipChanged bool
+
 	utilSeries []UtilSample
 	placeTimes []float64
 	events     []Event
 
-	// Scratch buffers for metrics observations, reused across rounds so
-	// an attached sink costs no per-round allocation.
+	// Scratch buffers reused across rounds so the steady-state loop
+	// allocates nothing: metrics observations, the placement need list,
+	// and the bulk-advance partition/ceiling/slowdown workspaces.
 	obsJobs []*Job
 	obsSds  []float64
+	needBuf []*Job
+	runBuf  []*Job
+	waitBuf []*Job
+	ceilBuf []float64
+	sdsBuf  []float64
 }
 
 // observe hands one span to the metrics sink, with the running set
@@ -480,6 +500,19 @@ func (e *engine) observe(start float64, rounds int, running []*Job, waiting int)
 	})
 }
 
+// run drives the engine through its stepping regimes. Each loop
+// iteration is one *full* round broken into explicit phases — admit,
+// order, mark prefix, place, observe, advance — with dirty-set tracking
+// between them: ordering is recomputed only when membership or
+// priorities actually moved, and placement only runs when arrivals,
+// completions or preemptions changed the waiting set or occupancy.
+// After each full round the engine computes an event horizon and bulk
+// advances through every following round that provably repeats the
+// decision just made (see bulkAdvance); rounds with nothing active at
+// all skip straight to the next arrival (idle gap). The naive reference
+// loop — every phase, every round — is retained behind
+// Config.DisableFastForward and pins all of this via byte-identity
+// tests.
 func (e *engine) run() (*Result, error) {
 	cfg := e.cfg
 	now := 0.0
@@ -492,13 +525,21 @@ func (e *engine) run() (*Result, error) {
 	rounds := 0
 	remaining := len(e.jobs)
 	truncated := false
+	e.membershipChanged = true
 
 	for remaining > 0 {
+		// Truncation guard.
 		if rounds >= cfg.MaxRounds {
 			truncated = true
 			break
 		}
+
+		// Admission phase: arrivals enter the active set.
+		before := len(e.active)
 		e.admitArrivals(now)
+		if len(e.active) != before {
+			e.membershipChanged = true
+		}
 		if e.rejected > 0 {
 			remaining -= e.rejected
 			e.rejected = 0
@@ -508,7 +549,7 @@ func (e *engine) run() (*Result, error) {
 		}
 
 		if len(e.active) == 0 {
-			// Idle: jump to the next arrival instead of spinning rounds.
+			// Idle gap: jump to the next arrival instead of spinning rounds.
 			if e.nextArrival < len(e.jobs) {
 				next := e.jobs[e.nextArrival].Spec.Arrival
 				idleStart, idleFrom := now, rounds
@@ -531,23 +572,34 @@ func (e *engine) run() (*Result, error) {
 			break
 		}
 
-		ordered := cfg.Sched.Order(e.active, now)
-		if len(ordered) != len(e.active) {
-			return nil, fmt.Errorf("sim: scheduler %s returned %d jobs, want %d",
-				cfg.Sched.Name(), len(ordered), len(e.active))
+		// Ordering phase (incremental when the scheduler exposes a total
+		// order and membership is unchanged).
+		ordered, err := e.orderActive(now)
+		if err != nil {
+			return nil, err
 		}
+
+		// Prefix phase: mark the queue at cluster size.
 		prefix := schedulablePrefix(ordered, e.cluster.Size())
 
-		if err := e.place(prefix, now); err != nil {
-			return nil, err
+		// Placement phase, skipped when provably a no-op (sticky placer,
+		// occupancy already matching the prefix).
+		if !e.placementClean(prefix) {
+			if err := e.place(prefix, now); err != nil {
+				return nil, err
+			}
 		}
 
 		// Observe before advance: completions inside the round release
 		// allocations, and the observation covers the round as scheduled.
 		e.observe(now, 1, prefix, len(e.active)-len(prefix))
 
+		// Advance phase.
 		finished := e.advance(prefix, now)
 		remaining -= finished
+		if finished > 0 {
+			e.membershipChanged = true
+		}
 
 		if cfg.RecordUtilization {
 			inUse := 0
@@ -560,8 +612,13 @@ func (e *engine) run() (*Result, error) {
 		now += cfg.RoundSec
 		rounds++
 
-		if e.fastForwardable() {
-			now, rounds = e.fastForward(now, rounds)
+		// Event-horizon phase: bulk advance through rounds that provably
+		// repeat the decision above. A finishing round must re-enter the
+		// full loop first when jobs are waiting — freed GPUs can admit a
+		// waiter next round — so bulk advance re-checks eligibility
+		// itself.
+		if finished == 0 || e.allActiveRunning() {
+			now, rounds = e.bulkAdvance(now, rounds)
 		}
 	}
 
@@ -580,29 +637,65 @@ func (e *engine) run() (*Result, error) {
 	return res, nil
 }
 
-// fastForwardable reports whether the rounds ahead are provably pure
-// progress rounds until the next arrival or finish, so the engine may
-// skip the scheduling machinery for them. The conditions:
-//
-//   - the placer is sticky, so every running job is guaranteed to keep
-//     its allocation (a non-sticky placer re-places — and may re-roll
-//     its RNG — every round, which is observable behaviour);
-//   - every active job is running (an empty waiting queue means the
-//     schedulable prefix covers the whole active set no matter how the
-//     scheduler reorders it, so evolving LAS/SRTF priorities cannot
-//     change *which* jobs run);
-//   - no Observer is attached (its contract is one callback per round).
-//
-// A Metrics sink is deliberately NOT a disqualifier: its span-based
-// contract (ObserveRounds) was designed so instrumented runs keep the
-// fast path.
-func (e *engine) fastForwardable() bool {
-	if e.cfg.DisableFastForward || e.cfg.Observer != nil || !e.cfg.Placer.Sticky() {
+// orderActive produces this round's scheduling order. The reference path
+// calls Scheduler.Order every round. The incremental path — taken when
+// fast-forwarding is enabled, the active set's membership is unchanged
+// since the cached order was built, and the scheduler exposes its strict
+// total order (TotalOrderScheduler) — re-validates the cached order in
+// O(n) and re-sorts in place only when priorities actually crossed.
+// Because the order is total, the maintained sequence is exactly what a
+// fresh Order call would return.
+func (e *engine) orderActive(now float64) ([]*Job, error) {
+	cfg := e.cfg
+	if !cfg.DisableFastForward && !e.membershipChanged && e.ordered != nil {
+		if ts, ok := cfg.Sched.(TotalOrderScheduler); ok {
+			ord := e.ordered
+			less := func(i, j int) bool { return ts.Less(ord[i], ord[j], now) }
+			if !sort.SliceIsSorted(ord, less) {
+				sort.Slice(ord, less)
+			}
+			return ord, nil
+		}
+	}
+	ordered := cfg.Sched.Order(e.active, now)
+	if len(ordered) != len(e.active) {
+		return nil, fmt.Errorf("sim: scheduler %s returned %d jobs, want %d",
+			cfg.Sched.Name(), len(ordered), len(e.active))
+	}
+	e.ordered = ordered
+	e.membershipChanged = false
+	return ordered, nil
+}
+
+// placementClean reports whether the placement phase is provably a no-op
+// this round: sticky placer, every prefix job already holding GPUs, and
+// nobody outside the prefix holding any (no preemption due). The check
+// is the dirty-set gate — O(n) with no allocation — and mirrors exactly
+// the conditions under which place() would fall through without touching
+// the cluster, so skipping it cannot be observed. The reference loop
+// always re-enters place().
+func (e *engine) placementClean(prefix []*Job) bool {
+	if e.cfg.DisableFastForward || !e.cfg.Placer.Sticky() {
 		return false
 	}
-	if len(e.active) == 0 {
-		return false
+	for _, j := range prefix {
+		if j.Alloc == nil {
+			return false
+		}
 	}
+	nRunning := 0
+	for _, j := range e.active {
+		if j.Alloc != nil {
+			nRunning++
+		}
+	}
+	return nRunning == len(prefix)
+}
+
+// allActiveRunning reports whether every active job currently holds GPUs
+// (the sparse fast-forward precondition, where a finishing round cannot
+// promote a waiter because there are none).
+func (e *engine) allActiveRunning() bool {
 	for _, j := range e.active {
 		if j.Alloc == nil {
 			return false
@@ -611,42 +704,114 @@ func (e *engine) fastForwardable() bool {
 	return true
 }
 
-// fastForward advances through pure progress rounds, stopping at the
-// round in which the next arrival is admitted, a job finishes, or
-// MaxRounds is reached — that round is handed back to the full loop.
+// bulkAdvance is the event-horizon stepping phase: starting immediately
+// after a full round, it advances through every following round that
+// provably repeats that round's decision, handing the first
+// state-changing round back to the full loop. A round repeats when
+// nothing arrives (checked against the next-arrival horizon), nothing
+// finishes (earliest-completion horizon under the frozen slowdowns),
+// and the schedulable prefix is unchanged. With a sticky placer the
+// prefix is a pure function of the scheduling order, the job demands
+// and the cluster *size* — not the free state — so prefix stability
+// reduces to order stability:
+//
+//   - with an empty waiting set, any permutation of the running jobs
+//     fits, so the prefix is trivially stable (the sparse fast-forward
+//     of PR 2);
+//   - with waiters, the engine asks the scheduler
+//     (PartitionStableScheduler) for per-running-job attained-service
+//     ceilings below which the running/waiting partition provably holds,
+//     and ends the span before any running job reaches its ceiling —
+//     this is what lets dense, saturated traces advance in bulk.
+//
 // Each skipped round applies exactly the arithmetic advance would have
 // (Remaining -= RoundSec/slowdown, Attained += RoundSec×demand, one
-// utilization sample), with the slowdown hoisted out of the loop: it is
-// a pure function of the job's unchanged allocation. The whole span is
-// handed to the metrics sink as one observation: every per-round quantity
-// is frozen for its duration, so the sink integrates analytically instead
-// of being called round by round.
-func (e *engine) fastForward(now float64, rounds int) (float64, int) {
+// utilization sample), in the same per-round addition order, so results
+// are byte-identical to naive iteration. Waiting jobs are untouched,
+// exactly as a naive round would leave them. The whole span reaches the
+// metrics sink as one observation (every per-round quantity is frozen
+// for its duration). Non-sticky placers re-place — and may re-roll
+// their RNG — every round, which is observable behaviour, so they never
+// bulk advance; nor do runs with an Observer attached (its contract is
+// one callback per job per round).
+func (e *engine) bulkAdvance(now float64, rounds int) (float64, int) {
 	cfg := e.cfg
-	round := cfg.RoundSec
+	if cfg.DisableFastForward || cfg.Observer != nil || !cfg.Placer.Sticky() || len(e.active) == 0 {
+		return now, rounds
+	}
+	// Arrival horizon first: if the next arrival is already due, the
+	// span would be empty — skip the partition/slowdown setup entirely.
 	nextArr := math.Inf(1)
 	if e.nextArrival < len(e.jobs) {
 		nextArr = e.jobs[e.nextArrival].Spec.Arrival
 	}
-	sds := make([]float64, len(e.active))
-	inUse := 0
-	for i, j := range e.active {
-		sds[i] = e.slowdown(j)
-		inUse += j.Spec.Demand
+	if nextArr <= now || rounds >= cfg.MaxRounds {
+		return now, rounds
 	}
-	spanStart, spanFrom := now, rounds
-	for {
-		if rounds >= cfg.MaxRounds || nextArr <= now {
-			e.observe(spanStart, rounds-spanFrom, e.active, 0)
+
+	// Partition the active set as the just-executed round left it:
+	// running jobs hold GPUs (they were the schedulable prefix), the
+	// rest wait.
+	running := e.runBuf[:0]
+	waiting := e.waitBuf[:0]
+	for _, j := range e.active {
+		if j.Alloc != nil {
+			running = append(running, j)
+		} else {
+			waiting = append(waiting, j)
+		}
+	}
+	e.runBuf, e.waitBuf = running[:0], waiting[:0]
+
+	var ceilings []float64
+	if len(waiting) > 0 {
+		ps, ok := cfg.Sched.(PartitionStableScheduler)
+		if !ok {
 			return now, rounds
 		}
-		for i, j := range e.active {
-			if j.Remaining*sds[i] <= round {
-				e.observe(spanStart, rounds-spanFrom, e.active, 0)
+		if cap(e.ceilBuf) < len(running) {
+			e.ceilBuf = make([]float64, len(running))
+		}
+		ceilings = e.ceilBuf[:len(running)]
+		ps.AttainedCeilings(running, waiting, ceilings)
+		// Order horizon already reached (e.g. the just-executed advance
+		// moved a runner onto a waiter's key): nothing to skip, and the
+		// per-job slowdowns need not be evaluated.
+		for i, j := range running {
+			if j.Attained >= ceilings[i] {
 				return now, rounds
 			}
 		}
-		for i, j := range e.active {
+	}
+
+	round := cfg.RoundSec
+	if cap(e.sdsBuf) < len(running) {
+		e.sdsBuf = make([]float64, len(running))
+	}
+	sds := e.sdsBuf[:len(running)]
+	inUse := 0
+	for i, j := range running {
+		sds[i] = e.slowdown(j)
+		inUse += j.Spec.Demand
+	}
+
+	spanStart, spanFrom := now, rounds
+	for rounds < cfg.MaxRounds && nextArr > now {
+		repeats := true
+		for i, j := range running {
+			if j.Remaining*sds[i] <= round {
+				repeats = false // completion horizon: this round finishes a job
+				break
+			}
+			if ceilings != nil && j.Attained >= ceilings[i] {
+				repeats = false // order horizon: the partition may flip here
+				break
+			}
+		}
+		if !repeats {
+			break
+		}
+		for i, j := range running {
 			j.Remaining -= round / sds[i]
 			j.Attained += round * float64(j.Spec.Demand)
 		}
@@ -656,6 +821,11 @@ func (e *engine) fastForward(now float64, rounds int) (float64, int) {
 		now += round
 		rounds++
 	}
+	if skipped := rounds - spanFrom; skipped > 0 {
+		noteBulkSpan(skipped, len(waiting) > 0)
+	}
+	e.observe(spanStart, rounds-spanFrom, running, len(waiting))
+	return now, rounds
 }
 
 // admitArrivals moves arrived jobs into the active set, applying
@@ -698,15 +868,17 @@ func schedulablePrefix(ordered []*Job, clusterSize int) []*Job {
 }
 
 // place preempts descheduled jobs, applies sticky semantics and invokes
-// the placement policy for jobs needing GPUs.
+// the placement policy for jobs needing GPUs. Prefix membership and
+// was-running state ride on per-job scratch marks rather than per-round
+// maps, so the phase allocates nothing in steady state; both marks are
+// false again by the time place returns.
 func (e *engine) place(prefix []*Job, now float64) error {
-	inPrefix := make(map[int]bool, len(prefix))
 	for _, j := range prefix {
-		inPrefix[j.Spec.ID] = true
+		j.inPrefix = true
 	}
 	// Preempt running jobs that fell out of the schedulable set.
 	for _, j := range e.active {
-		if j.Alloc != nil && !inPrefix[j.Spec.ID] {
+		if j.Alloc != nil && !j.inPrefix {
 			e.cluster.Release(j.Alloc)
 			j.PrevAlloc = j.Alloc
 			j.Alloc = nil
@@ -716,20 +888,21 @@ func (e *engine) place(prefix []*Job, now float64) error {
 	}
 
 	sticky := e.cfg.Placer.Sticky()
-	var need []*Job
-	prevAlloc := make(map[int][]cluster.GPUID)
+	need := e.needBuf[:0]
 	for _, j := range prefix {
+		j.inPrefix = false
 		if j.Alloc != nil {
 			if sticky {
 				continue // sticky jobs keep their GPUs
 			}
-			prevAlloc[j.Spec.ID] = j.Alloc
+			j.wasRunning = true
 			j.PrevAlloc = j.Alloc
 			e.cluster.Release(j.Alloc)
 			j.Alloc = nil
 		}
 		need = append(need, j)
 	}
+	e.needBuf = need[:0]
 	if len(need) == 0 {
 		return nil
 	}
@@ -746,25 +919,26 @@ func (e *engine) place(prefix []*Job, now float64) error {
 		}
 		// Validate before committing so a buggy placer surfaces as an
 		// error, not a panic deep in the cluster bookkeeping.
-		seen := make(map[cluster.GPUID]bool, len(alloc))
-		for _, g := range alloc {
+		for i, g := range alloc {
 			if g < 0 || int(g) >= e.cluster.Size() {
 				return fmt.Errorf("sim: placer %s gave job %d out-of-range GPU %d",
 					e.cfg.Placer.Name(), j.Spec.ID, g)
 			}
-			if seen[g] {
-				return fmt.Errorf("sim: placer %s gave job %d GPU %d twice",
-					e.cfg.Placer.Name(), j.Spec.ID, g)
+			for _, h := range alloc[:i] {
+				if h == g {
+					return fmt.Errorf("sim: placer %s gave job %d GPU %d twice",
+						e.cfg.Placer.Name(), j.Spec.ID, g)
+				}
 			}
-			seen[g] = true
 			if !e.cluster.IsFree(g) {
 				return fmt.Errorf("sim: placer %s gave job %d busy GPU %d (owner %d)",
 					e.cfg.Placer.Name(), j.Spec.ID, g, e.cluster.Owner(g))
 			}
 		}
 		e.cluster.Allocate(j.Spec.ID, alloc)
-		_, wasRunning := prevAlloc[j.Spec.ID]
-		if wasRunning && !sameGPUs(prevAlloc[j.Spec.ID], alloc) {
+		wasRunning := j.wasRunning
+		j.wasRunning = false
+		if wasRunning && !sameGPUs(j.PrevAlloc, alloc) {
 			j.Migrations++
 			j.migrated = true
 			e.recordEvent(now, j.Spec.ID, EventMigrate, j.Spec.Demand)
@@ -782,16 +956,24 @@ func (e *engine) place(prefix []*Job, now float64) error {
 	return nil
 }
 
+// sameGPUs reports set equality of two allocations: equal lengths and
+// every GPU of b present in a (the engine validates allocations
+// duplicate-free before they reach here, so containment plus length is
+// equality). Allocations are small (one job's demand), so a quadratic
+// scan beats building a map.
 func sameGPUs(a, b []cluster.GPUID) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	set := make(map[cluster.GPUID]bool, len(a))
-	for _, g := range a {
-		set[g] = true
-	}
 	for _, g := range b {
-		if !set[g] {
+		found := false
+		for _, h := range a {
+			if h == g {
+				found = true
+				break
+			}
+		}
+		if !found {
 			return false
 		}
 	}
