@@ -21,6 +21,12 @@
 //	palreport -in out/                         # all payloads in a directory
 //	palreport -in a.metrics.json,b.metrics.json -format md
 //	palreport -in out/ -baseline sia-tiresias -format csv -out tables/
+//	palreport -in results/.palstore            # telemetry embedded in a result store
+//
+// A token that is a result-store directory (the layout palsweep -store
+// writes) contributes the telemetry payload embedded in every stored
+// result, so archived sweeps are tabulated straight from the store with
+// no separate -metrics pass.
 //
 // Formats and the -out directory behave exactly like palsweep's.
 package main
@@ -36,6 +42,7 @@ import (
 	"repro/internal/export"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // cdfPercentiles are the fixed percentiles of the side-by-side CDF table.
@@ -43,14 +50,14 @@ var cdfPercentiles = []float64{10, 25, 50, 75, 90, 95, 99}
 
 func main() {
 	var (
-		in       = flag.String("in", "", "comma-separated payload files, directories or globs (*.metrics.json)")
+		in       = flag.String("in", "", "comma-separated payload files, directories or globs (*.metrics.json), or result-store directories (palsweep -store)")
 		baseline = flag.String("baseline", "", "payload name to compare against (default: the first payload)")
 		format   = flag.String("format", "text", "output format: text, csv, md, json")
 		outDir   = flag.String("out", "", "write one file per table into this directory instead of stdout")
 	)
 	flag.Parse()
 	if *in == "" {
-		fatal(fmt.Errorf("-in is required (point it at a palsweep -metrics directory)"))
+		fatal(fmt.Errorf("-in is required (point it at a palsweep -metrics directory or a -store directory)"))
 	}
 	switch *format {
 	case "text", "csv", "md", "json":
@@ -58,20 +65,9 @@ func main() {
 		fatal(fmt.Errorf("unknown format %q (want text, csv, md or json)", *format))
 	}
 
-	paths, err := expandPayloadArgs(*in)
-	if err != nil {
-		fatal(err)
-	}
-	payloads := make([]*metrics.Payload, 0, len(paths))
-	for _, path := range paths {
-		p, err := metrics.LoadFile(path)
-		if err != nil {
-			fatal(err)
-		}
-		if p.Name == "" {
-			p.Name = strings.TrimSuffix(filepath.Base(path), export.MetricsExt)
-		}
-		payloads = append(payloads, p)
+	payloads := loadPayloads(*in)
+	if len(payloads) == 0 {
+		fatal(fmt.Errorf("no payloads found in %q", *in))
 	}
 
 	base := payloads[0]
@@ -103,15 +99,100 @@ func main() {
 	}
 }
 
-// expandPayloadArgs resolves the -in tokens to payload files: files,
-// directories (every *.metrics.json inside, sorted) or globs, with every
-// unmatched token named in the error.
-func expandPayloadArgs(s string) ([]string, error) {
-	paths, err := export.ExpandFileArgs(s, export.MetricsExt)
-	if err != nil {
-		return nil, fmt.Errorf("-in: %w", err)
+// loadPayloads resolves the -in argument to payloads. Each
+// comma-separated token may be a result-store directory (internal/store
+// layout — every stored result's embedded telemetry is loaded, in key
+// order), a payload file, a directory of *.metrics.json, or a glob.
+// Token order is preserved across all forms — the first payload is the
+// default baseline, so a file named before a store must stay first —
+// and every unmatched file-ish token is collected into one error.
+func loadPayloads(arg string) []*metrics.Payload {
+	var payloads []*metrics.Payload
+	var misses []string
+	for _, tok := range strings.Split(arg, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		// IsStoreRoot, not IsStore: a store populated under an older
+		// codec version is still a store — report it as empty-for-this-
+		// codec rather than "directory with no *.metrics.json".
+		if store.IsStoreRoot(tok) {
+			payloads = append(payloads, loadStorePayloads(tok)...)
+			continue
+		}
+		paths, err := export.ExpandFileArgs(tok, export.MetricsExt)
+		if err != nil {
+			misses = append(misses, err.Error())
+			continue
+		}
+		for _, path := range paths {
+			p, err := metrics.LoadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			if p.Name == "" {
+				p.Name = strings.TrimSuffix(filepath.Base(path), export.MetricsExt)
+			}
+			payloads = append(payloads, p)
+		}
 	}
-	return paths, nil
+	if len(misses) > 0 {
+		fatal(fmt.Errorf("-in: %s", strings.Join(misses, "; ")))
+	}
+	return payloads
+}
+
+// loadStorePayloads extracts the telemetry payloads embedded in a result
+// store's objects. Results archived without metrics are skipped with a
+// note — they carry nothing to tabulate.
+func loadStorePayloads(dir string) []*metrics.Payload {
+	hadCurrent := store.IsStore(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		fatal(err)
+	}
+	keys, err := st.Keys()
+	if err != nil {
+		fatal(err)
+	}
+	if len(keys) == 0 && !hadCurrent {
+		// The root held only older-codec trees; say so instead of letting
+		// the generic "no payloads found" hide the version mismatch.
+		fmt.Fprintf(os.Stderr, "palreport: store %s holds no objects for the current codec (older-version trees present; re-run the sweeps, then `palstore gc` reclaims the old tree)\n", dir)
+	}
+	var payloads []*metrics.Payload
+	skipped := 0
+	for _, key := range keys {
+		// Peek, not Get: reporting must not refresh GC recency.
+		res, ok, err := st.Peek(key)
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			continue // raced with a concurrent GC
+		}
+		p := metrics.FromResult(res)
+		if p == nil {
+			skipped++
+			continue
+		}
+		// Stamp identity on a copy (stored payloads are shared values):
+		// the store key doubles as the cache key, and a label-less payload
+		// falls back to a key prefix.
+		cp := *p
+		if cp.Key == "" {
+			cp.Key = key
+		}
+		if cp.Name == "" {
+			cp.Name = key[:12]
+		}
+		payloads = append(payloads, &cp)
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "palreport: store %s: skipped %d results without telemetry (re-run them with metrics enabled to tabulate)\n", dir, skipped)
+	}
+	return payloads
 }
 
 // meanUtil averages the archived utilization series; falls back to the

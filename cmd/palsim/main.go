@@ -10,6 +10,7 @@
 //	palsim -scenario examples/scenario/spec.json
 //	palsim -scenario spec.json -dump-trace workload.json   # save the generated workload for replay
 //	palsim -scenario spec.json -metrics out/               # archive telemetry (series CSVs + payload JSON)
+//	palsim -scenario spec.json -store results/.palstore    # repeat runs become O(read)
 //
 // With -scenario, the whole configuration comes from the JSON spec
 // (internal/scenario documents the format) and the other
@@ -32,6 +33,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -53,11 +55,12 @@ func main() {
 		scenPath   = flag.String("scenario", "", "run a declarative scenario spec (JSON) instead of the flag-built configuration")
 		dumpTrace  = flag.String("dump-trace", "", "with -scenario: save the scenario's workload as JSON for replay via a file-sourced spec")
 		metricsDir = flag.String("metrics", "", "collect telemetry and dump the run's series (CSV) and payload (JSON) into this directory")
+		storeDir   = flag.String("store", "", "persistent result-store directory: repeat runs of the same configuration load from disk instead of simulating")
 	)
 	flag.Parse()
 
 	if *scenPath != "" {
-		runScenario(*scenPath, *dumpTrace, *asJSON, *events, *utilize, *metricsDir)
+		runScenario(*scenPath, *dumpTrace, *asJSON, *events, *utilize, *metricsDir, *storeDir)
 		return
 	}
 	if *dumpTrace != "" {
@@ -113,11 +116,9 @@ func main() {
 		spec.ModelLacross = trace.LacrossByModel()
 	}
 
-	res, err := experiments.Run(spec)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
-		os.Exit(1)
-	}
+	res := throughStore(*storeDir, spec.Key(), func() (*sim.Result, error) {
+		return experiments.Run(spec)
+	})
 
 	if *metricsDir != "" {
 		base := fmt.Sprintf("%s-%s-%s", tr.Name, spec.Policy.RegistryName(), s.Name())
@@ -135,6 +136,44 @@ func main() {
 	header := fmt.Sprintf("trace=%s jobs=%d cluster=%d GPUs policy=%s sched=%s lacross=%.2f",
 		tr.Name, len(tr.Jobs), topo.Size(), pol, s.Name(), *lacross)
 	printMetrics(header, res, *events, *utilize)
+}
+
+// throughStore runs the simulation through the persistent store when
+// -store is set: a stored result for the run's content-addressed key is
+// loaded instead of simulating, and a fresh result is persisted for
+// later invocations. Store failures degrade to simulating (with a
+// warning), mirroring the runner cache's backend semantics.
+func throughStore(dir, key string, run func() (*sim.Result, error)) *sim.Result {
+	var st *store.Store
+	if dir != "" {
+		var err error
+		st, err = store.Open(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+			os.Exit(2)
+		}
+		res, ok, err := st.Get(key)
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "palsim: store degraded, simulating: %v\n", err)
+		case ok:
+			fmt.Fprintf(os.Stderr, "palsim: loaded result from store (key %s)\n", key[:16])
+			return res
+		}
+	}
+	res, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+		os.Exit(1)
+	}
+	if st != nil {
+		if err := st.Put(key, res); err != nil {
+			fmt.Fprintf(os.Stderr, "palsim: store write failed: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "palsim: stored result (key %s)\n", key[:16])
+		}
+	}
+	return res
 }
 
 // dumpMetrics archives a run's telemetry payload (with the cache key
@@ -161,7 +200,7 @@ func dumpMetrics(dir, base string, res *sim.Result, key string) {
 // configuration, so they are honored by switching the spec's recording
 // knobs on (with a re-Normalize so the forced spec canonicalizes — and
 // cache-keys — exactly like a file that enabled them).
-func runScenario(path, dumpTrace string, asJSON bool, events int, utilize bool, metricsDir string) {
+func runScenario(path, dumpTrace string, asJSON bool, events int, utilize bool, metricsDir, storeDir string) {
 	// The spec owns the whole configuration; a flag-built knob alongside
 	// it would be silently ignored, so reject the combination.
 	conflicting := map[string]bool{
@@ -213,11 +252,7 @@ func runScenario(path, dumpTrace string, asJSON bool, events int, utilize bool, 
 		}
 		fmt.Fprintf(os.Stderr, "palsim: saved %d-job workload to %s\n", len(built.Trace.Jobs), dumpTrace)
 	}
-	res, err := built.Run()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
-		os.Exit(1)
-	}
+	res := throughStore(storeDir, built.Key(), built.Run)
 	if metricsDir != "" {
 		dumpMetrics(metricsDir, spec.Name, res, built.Key())
 	}

@@ -1,0 +1,308 @@
+// Command palstore inspects and maintains the persistent result store
+// (internal/store) that `palsweep -store` and `palsim -store` populate:
+// the disk tier of the content-addressed result cache, holding one
+// archived *sim.Result per canonical configuration hash.
+//
+// Subcommands:
+//
+//	palstore ls     -store DIR              list stored objects (key, size, ages)
+//	palstore info   -store DIR KEY          one object in detail (unique key prefix OK)
+//	palstore verify -store DIR              re-hash and decode every object
+//	palstore gc     -store DIR -max-bytes N -max-age DUR   evict LRU/stale objects
+//	palstore export -store DIR -format csv|md|text|json    summary table of stored runs
+//
+// verify exits non-zero when any object fails its content hash or does
+// not decode under the current codec, so CI can gate on store health.
+// export tabulates straight from the archived results — no simulation,
+// no separate metrics pass — with the same formats as palsweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/export"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "ls":
+		cmdLs(args)
+	case "info":
+		cmdInfo(args)
+	case "verify":
+		cmdVerify(args)
+	case "gc":
+		cmdGC(args)
+	case "export":
+		cmdExport(args)
+	case "help", "-h", "-help", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "palstore: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: palstore <command> [flags]
+
+commands:
+  ls      -store DIR                        list stored objects
+  info    -store DIR KEY                    show one object (unique key prefix OK)
+  verify  -store DIR                        re-hash + decode every object; non-zero exit on problems
+  gc      -store DIR [-max-bytes N] [-max-age DUR]   evict stale/LRU objects, compact the index
+  export  -store DIR [-format csv|md|text|json]      summary table of stored runs
+`)
+}
+
+// openFlags builds a flag set with the shared -store flag.
+func openFlags(name string) (*flag.FlagSet, *string) {
+	fs := flag.NewFlagSet("palstore "+name, flag.ExitOnError)
+	dir := fs.String("store", "", "result-store directory (as passed to palsweep/palsim -store)")
+	return fs, dir
+}
+
+// mustOpen parses the flags and opens the store, failing loudly when
+// -store is missing or does not hold a store.
+func mustOpen(fs *flag.FlagSet, dir *string, args []string) *store.Store {
+	fs.Parse(args)
+	if *dir == "" {
+		fatal(fmt.Errorf("-store is required"))
+	}
+	if !store.IsStoreRoot(*dir) {
+		// Opening a fresh directory would silently create an empty store;
+		// for an inspection CLI a typo should say so instead. A store
+		// holding only older codec versions still opens — gc is the
+		// documented way to reclaim a superseded tree.
+		fatal(fmt.Errorf("%s is not a result store (no v*/objects tree)", *dir))
+	}
+	st, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	return st
+}
+
+func cmdLs(args []string) {
+	fs, dir := openFlags("ls")
+	st := mustOpen(fs, dir, args)
+	infos, err := st.Infos()
+	if err != nil {
+		fatal(err)
+	}
+	if len(infos) == 0 {
+		fmt.Println("(empty store)")
+		return
+	}
+	now := time.Now()
+	fmt.Printf("%-16s  %10s  %12s  %12s\n", "KEY", "SIZE", "AGE", "LAST-ACCESS")
+	var total int64
+	for _, info := range infos {
+		fmt.Printf("%-16s  %10d  %12s  %12s\n",
+			info.Key[:16], info.Size, age(now, info.Created), age(now, info.LastAccess))
+		total += info.Size
+	}
+	fmt.Printf("%d objects, %.1f MiB (%s, codec %s)\n",
+		len(infos), float64(total)/(1<<20), st.Dir(), export.ResultFormatVersion)
+}
+
+func cmdInfo(args []string) {
+	fs, dir := openFlags("info")
+	st := mustOpen(fs, dir, args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("info wants exactly one KEY argument (a unique prefix is enough)"))
+	}
+	key, err := resolveKey(st, fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	info, ok, err := st.Info(key)
+	if err != nil || !ok {
+		fatal(fmt.Errorf("object %s: ok=%v err=%v", key, ok, err))
+	}
+	res, ok, err := st.Peek(key) // inspection must not refresh GC recency
+	if err != nil {
+		fatal(err)
+	}
+	if !ok {
+		fatal(fmt.Errorf("object %s vanished mid-read", key))
+	}
+	fmt.Printf("key          %s\n", key)
+	fmt.Printf("size         %d bytes\n", info.Size)
+	if info.SHA256 != "" {
+		fmt.Printf("sha256       %s\n", info.SHA256)
+	}
+	fmt.Printf("created      %s\n", info.Created.Format(time.RFC3339))
+	fmt.Printf("last access  %s\n", info.LastAccess.Format(time.RFC3339))
+	if p := metrics.FromResult(res); p != nil {
+		fmt.Printf("run          %s (policy %s, sched %s)\n", p.Name, p.Policy, p.Sched)
+	} else {
+		fmt.Printf("run          (no telemetry archived)\n")
+	}
+	jcts := res.JCTs()
+	fmt.Printf("jobs         %d (%d measured)\n", len(res.Jobs), len(res.Measured))
+	fmt.Printf("rounds       %d\n", res.Rounds)
+	if res.Truncated {
+		fmt.Printf("TRUNCATED    %d jobs unfinished; metrics cover completed jobs only\n", res.Unfinished)
+	}
+	fmt.Printf("avg JCT      %.1f s\n", stats.Mean(jcts))
+	fmt.Printf("p99 JCT      %.1f s\n", stats.Percentile(jcts, 99))
+	fmt.Printf("makespan     %.1f s (%.2f h)\n", res.Makespan, res.Makespan/3600)
+	fmt.Printf("utilization  %.2f%%\n", 100*res.Utilization)
+}
+
+func cmdVerify(args []string) {
+	fs, dir := openFlags("verify")
+	st := mustOpen(fs, dir, args)
+	problems, err := st.Verify()
+	if err != nil {
+		fatal(err)
+	}
+	n, err := st.Len()
+	if err != nil {
+		fatal(err)
+	}
+	if len(problems) == 0 {
+		fmt.Printf("palstore: ok — %d objects verified (codec %s)\n", n, export.ResultFormatVersion)
+		return
+	}
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "palstore: %s\n", p)
+	}
+	fmt.Fprintf(os.Stderr, "palstore: %d problems in %d objects (gc evicts undamaged-but-stale objects; damaged ones must be deleted and re-simulated)\n",
+		len(problems), n)
+	os.Exit(1)
+}
+
+func cmdGC(args []string) {
+	fs, dir := openFlags("gc")
+	maxBytes := fs.Int64("max-bytes", 0, "evict least-recently-accessed objects until the store fits (0 = no size bound)")
+	maxAge := fs.Duration("max-age", 0, "evict objects not accessed within this duration (0 = no age bound)")
+	st := mustOpen(fs, dir, args)
+	rep, err := st.GC(store.GCPolicy{MaxBytes: *maxBytes, MaxAge: *maxAge})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("palstore: gc kept %d objects (%.1f MiB), removed %d (%.1f MiB freed)\n",
+		rep.Kept, float64(rep.KeptBytes)/(1<<20), rep.Removed, float64(rep.FreedBytes)/(1<<20))
+}
+
+func cmdExport(args []string) {
+	fs, dir := openFlags("export")
+	format := fs.String("format", "md", "output format: text, csv, md, json")
+	st := mustOpen(fs, dir, args)
+	switch *format {
+	case "text", "csv", "md", "json":
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text, csv, md or json)", *format))
+	}
+	keys, err := st.Keys()
+	if err != nil {
+		fatal(err)
+	}
+	table := &experiments.Table{
+		Name:  "store_summary",
+		Title: fmt.Sprintf("archived results in %s", st.Root()),
+		Header: []string{"key", "run", "policy", "sched", "jobs", "measured",
+			"avg_jct_s", "p50_jct_s", "p99_jct_s", "mean_wait_s", "util_pct", "rounds", "truncated"},
+	}
+	for _, key := range keys {
+		res, ok, err := st.Peek(key) // inspection must not refresh GC recency
+		if err != nil {
+			fatal(err)
+		}
+		if !ok {
+			continue // raced with a concurrent GC
+		}
+		name, policy, sched := "-", "-", "-"
+		if p := metrics.FromResult(res); p != nil {
+			name, policy, sched = p.Name, p.Policy, p.Sched
+		}
+		jcts := res.JCTs()
+		truncated := ""
+		if res.Truncated {
+			truncated = fmt.Sprintf("yes (%d unfinished)", res.Unfinished)
+		}
+		table.AddRowf(key[:16], name, policy, sched, len(res.Jobs), len(res.Measured),
+			stats.Mean(jcts), stats.Percentile(jcts, 50), stats.Percentile(jcts, 99),
+			stats.Mean(res.Waits()), 100*res.Utilization, res.Rounds, truncated)
+	}
+	switch *format {
+	case "text":
+		fmt.Print(table.String())
+	case "csv":
+		if err := export.TableCSV(os.Stdout, table); err != nil {
+			fatal(err)
+		}
+	case "md":
+		if err := export.TableMarkdown(os.Stdout, table); err != nil {
+			fatal(err)
+		}
+	case "json":
+		if err := export.TableJSON(os.Stdout, table); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// age renders how long ago t was, compactly.
+func age(now, t time.Time) string {
+	d := now.Sub(t)
+	if d < 0 {
+		d = 0
+	}
+	switch {
+	case d < time.Minute:
+		return fmt.Sprintf("%ds", int(d.Seconds()))
+	case d < time.Hour:
+		return fmt.Sprintf("%dm", int(d.Minutes()))
+	case d < 48*time.Hour:
+		return fmt.Sprintf("%dh", int(d.Hours()))
+	default:
+		return fmt.Sprintf("%dd", int(d.Hours()/24))
+	}
+}
+
+// resolveKey expands a (possibly abbreviated) key to a stored one,
+// demanding uniqueness so a short prefix can never silently pick the
+// wrong object.
+func resolveKey(st *store.Store, prefix string) (string, error) {
+	keys, err := st.Keys()
+	if err != nil {
+		return "", err
+	}
+	var matches []string
+	for _, k := range keys {
+		if strings.HasPrefix(k, prefix) {
+			matches = append(matches, k)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return "", fmt.Errorf("no stored object matches key prefix %q", prefix)
+	default:
+		return "", fmt.Errorf("key prefix %q is ambiguous (%d matches, e.g. %s and %s)",
+			prefix, len(matches), matches[0][:16], matches[1][:16])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "palstore: %v\n", err)
+	os.Exit(2)
+}

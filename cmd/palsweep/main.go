@@ -22,6 +22,7 @@
 //	palsweep -scenario a.json,b.json,c.json -workers 8
 //	palsweep -scenario specs/ -workers 8              # every *.json in the directory
 //	palsweep -scenario 'specs/pal-*.json' -metrics out/
+//	palsweep -scenario specs/ -store results/.palstore   # warm-start later sweeps
 //
 // With -scenario, each named declarative spec (internal/scenario
 // documents the format) becomes one simulation fanned out over the same
@@ -32,6 +33,14 @@
 // argument matching nothing is an error naming what failed. Adding
 // -metrics out/ force-enables each spec's telemetry block and archives
 // the collected payloads there, ready for cmd/palreport to aggregate.
+//
+// With -store, the in-memory result cache is backed by the persistent
+// content-addressed store (internal/store): results computed by any
+// previous palsweep/palsim invocation — or a concurrent one — are
+// loaded from disk instead of re-simulated, and fresh results are
+// persisted for the next run. The summary line breaks cache hits down
+// by tier; a repeat sweep over an unchanged grid reports 0 simulated.
+// Inspect or prune the store with cmd/palstore.
 //
 // Ctrl-C cancels the sweep: in-flight simulations finish, queued ones
 // never start.
@@ -57,6 +66,7 @@ import (
 	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // groups name convenient experiment subsets.
@@ -79,6 +89,7 @@ func main() {
 		list       = flag.Bool("list", false, "list available experiments and groups, then exit")
 		quiet      = flag.Bool("quiet", false, "suppress the progress line")
 		metricsDir = flag.String("metrics", "", "with -scenario: collect telemetry and archive each scenario's payload (JSON) and series (CSV) into this directory for palreport")
+		storeDir   = flag.String("store", "", "persistent result-store directory: a disk cache tier shared across processes, so repeat sweeps execute 0 simulations")
 	)
 	flag.Parse()
 
@@ -147,7 +158,15 @@ func main() {
 	}()
 	sc.Ctx = ctx
 
-	pool := runner.NewPool(*workers, runner.NewResultCache(*cacheCap))
+	cache := runner.NewResultCache(*cacheCap)
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		cache.SetBackend(st)
+	}
+	pool := runner.NewPool(*workers, cache)
 	experiments.SetPool(pool)
 
 	start := time.Now()
@@ -197,7 +216,6 @@ func main() {
 		fmt.Fprint(os.Stderr, "\r\x1b[K")
 	}
 
-	st := pool.Stats()
 	failures := 0
 	for i, name := range names {
 		o := outcomes[i]
@@ -220,12 +238,35 @@ func main() {
 		}
 	}
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "palsweep: %d experiments, %d simulations (%d cache hits), %d workers, %.1fs total\n",
-			len(names)-failures, st.Completed, st.CacheHits, pool.Workers(), time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "palsweep: %d experiments, %s, %d workers, %.1fs total\n",
+			len(names)-failures, cacheSummary(pool), pool.Workers(), time.Since(start).Seconds())
 	}
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// cacheSummary renders the sweep's cache effectiveness: simulations
+// actually executed versus results served from each cache tier, and how
+// many were persisted to the store. A warm-started sweep over an
+// unchanged grid reads "0 simulated" — the signal CI's store smoke test
+// checks for.
+func cacheSummary(pool *runner.Pool) string {
+	st := pool.Stats()
+	s := fmt.Sprintf("%d simulated", st.Executed)
+	cache := pool.Cache()
+	if cache == nil {
+		return s
+	}
+	cs := cache.Stats()
+	s += fmt.Sprintf(", %d cache hits (%d memory, %d store)", cs.Hits+cs.StoreHits, cs.Hits, cs.StoreHits)
+	if cs.Stored > 0 {
+		s += fmt.Sprintf(", %d stored", cs.Stored)
+	}
+	if cs.StoreErrors > 0 {
+		s += fmt.Sprintf(", %d store errors", cs.StoreErrors)
+	}
+	return s
 }
 
 // expandScenarioArgs expands the -scenario flag's comma-separated tokens
@@ -329,9 +370,8 @@ func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, fo
 		fatal(err)
 	}
 	if !quiet {
-		st := pool.Stats()
-		fmt.Fprintf(os.Stderr, "palsweep: %d scenarios, %d simulations (%d cache hits), %d workers, %.1fs total\n",
-			len(builds), st.Completed, st.CacheHits, pool.Workers(), time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "palsweep: %d scenarios, %s, %d workers, %.1fs total\n",
+			len(builds), cacheSummary(pool), pool.Workers(), time.Since(start).Seconds())
 		if archived > 0 {
 			fmt.Fprintf(os.Stderr, "palsweep: archived %d metric payloads to %s (aggregate with palreport -in %s)\n",
 				archived, metricsDir, metricsDir)

@@ -1,0 +1,305 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vprof"
+)
+
+// Canonical result codec: the deterministic JSON round-trip of a
+// *sim.Result the artifact store (internal/store) persists. The contract
+// is exact reproduction, same rigor as the engine's stepping
+// byte-identity suites:
+//
+//   - every field of Result and of every Job round-trips bit-for-bit
+//     (floats use Go's shortest-round-trip encoding, which decodes back
+//     to the identical float64);
+//   - nil and empty slices are preserved as written (no omitempty on
+//     slice fields), so reflect.DeepEqual holds across a round trip;
+//   - Truncated/Unfinished are always encoded, so a truncated run can
+//     never be mistaken for a complete one after a reload;
+//   - a metrics payload on the result (Result.Metrics) is embedded in
+//     the archive and comes back as a metrics.ArchivedSink, so
+//     metrics.FromResult works identically on live and loaded results;
+//   - the format field names the codec revision; DecodeResult rejects
+//     any other revision loudly instead of guessing.
+//
+// Bumping the codec (any change to the archive schema or its semantics)
+// means bumping ResultFormatVersion. The version is deliberately part of
+// the store's on-disk layout, NOT of the simulation cache keys: a codec
+// bump invalidates persisted artifacts without perturbing RunSpec/
+// scenario keys or their golden-key tests.
+
+// ResultFormatVersion names the result-codec revision. internal/store
+// namespaces its object tree by this string, so a bump orphans (and
+// eventually GCs) old artifacts instead of misreading them.
+const ResultFormatVersion = "v1"
+
+// resultFormat is the full format tag embedded in every archive.
+const resultFormat = "pal-result/" + ResultFormatVersion
+
+// archivedJob flattens one sim.Job (spec + final mutable state) into the
+// archive schema. Allocations are recorded as plain ints; nil means the
+// job held no GPUs when the run ended (always the case for completed
+// runs, not necessarily for truncated ones).
+type archivedJob struct {
+	ID      int     `json:"id"`
+	Model   string  `json:"model"`
+	Class   int     `json:"class"`
+	Arrival float64 `json:"arrival"`
+	Demand  int     `json:"demand"`
+	Work    float64 `json:"work"`
+
+	Remaining   float64 `json:"remaining"`
+	Alloc       []int   `json:"alloc"`
+	Attained    float64 `json:"attained"`
+	Started     bool    `json:"started"`
+	FirstRun    float64 `json:"first_run"`
+	Finish      float64 `json:"finish"`
+	Done        bool    `json:"done"`
+	Preemptions int     `json:"preemptions"`
+	Migrations  int     `json:"migrations"`
+	PrevAlloc   []int   `json:"prev_alloc"`
+}
+
+// archivedUtil is one GPUs-in-use sample.
+type archivedUtil struct {
+	Time  float64 `json:"time"`
+	InUse int     `json:"in_use"`
+}
+
+// archivedEvent is one lifecycle-log entry.
+type archivedEvent struct {
+	Time  float64 `json:"time"`
+	JobID int     `json:"job_id"`
+	Kind  int     `json:"kind"`
+	GPUs  int     `json:"gpus"`
+}
+
+// resultArchive is the archive schema. Measured holds indices into Jobs
+// so the decoded result's Measured slice aliases the same *Job values,
+// exactly as the engine leaves it.
+type resultArchive struct {
+	Format string `json:"format"`
+
+	Jobs     []archivedJob `json:"jobs"`
+	Measured []int         `json:"measured"`
+
+	Makespan              float64 `json:"makespan"`
+	Utilization           float64 `json:"utilization"`
+	ProductiveUtilization float64 `json:"productive_utilization"`
+	Rounds                int     `json:"rounds"`
+
+	UtilSeries []archivedUtil  `json:"util_series"`
+	PlaceTimes []float64       `json:"place_times"`
+	Events     []archivedEvent `json:"events"`
+
+	Metrics *metrics.Payload `json:"metrics"`
+
+	Truncated  bool `json:"truncated"`
+	Unfinished int  `json:"unfinished"`
+}
+
+// gpusToInts converts an allocation for archiving, preserving nil.
+func gpusToInts(a []cluster.GPUID) []int {
+	if a == nil {
+		return nil
+	}
+	out := make([]int, len(a))
+	for i, g := range a {
+		out[i] = int(g)
+	}
+	return out
+}
+
+// intsToGPUs is the inverse of gpusToInts.
+func intsToGPUs(a []int) []cluster.GPUID {
+	if a == nil {
+		return nil
+	}
+	out := make([]cluster.GPUID, len(a))
+	for i, g := range a {
+		out[i] = cluster.GPUID(g)
+	}
+	return out
+}
+
+// EncodeResult writes res as a deterministic, versioned JSON archive.
+// Encoding the same result twice produces identical bytes. A result
+// carrying a metrics sink that does not expose a payload (anything
+// other than a metrics.Collector or metrics.ArchivedSink) cannot be
+// archived faithfully and is an error rather than a silent drop.
+func EncodeResult(w io.Writer, res *sim.Result) error {
+	if res == nil {
+		return fmt.Errorf("export: nil result")
+	}
+	var payload *metrics.Payload
+	if res.Metrics != nil {
+		payload = metrics.FromResult(res)
+		if payload == nil {
+			return fmt.Errorf("export: result carries a metrics sink (%T) with no extractable payload", res.Metrics)
+		}
+	}
+	arch := resultArchive{
+		Format:                resultFormat,
+		Makespan:              res.Makespan,
+		Utilization:           res.Utilization,
+		ProductiveUtilization: res.ProductiveUtilization,
+		Rounds:                res.Rounds,
+		PlaceTimes:            res.PlaceTimes,
+		Metrics:               payload,
+		Truncated:             res.Truncated,
+		Unfinished:            res.Unfinished,
+	}
+	if res.Jobs != nil {
+		arch.Jobs = make([]archivedJob, len(res.Jobs))
+		index := make(map[*sim.Job]int, len(res.Jobs))
+		for i, j := range res.Jobs {
+			index[j] = i
+			arch.Jobs[i] = archivedJob{
+				ID:          j.Spec.ID,
+				Model:       j.Spec.Model,
+				Class:       int(j.Spec.Class),
+				Arrival:     j.Spec.Arrival,
+				Demand:      j.Spec.Demand,
+				Work:        j.Spec.Work,
+				Remaining:   j.Remaining,
+				Alloc:       gpusToInts(j.Alloc),
+				Attained:    j.Attained,
+				Started:     j.Started,
+				FirstRun:    j.FirstRun,
+				Finish:      j.Finish,
+				Done:        j.Done,
+				Preemptions: j.Preemptions,
+				Migrations:  j.Migrations,
+				PrevAlloc:   gpusToInts(j.PrevAlloc),
+			}
+		}
+		if res.Measured != nil {
+			arch.Measured = make([]int, len(res.Measured))
+			for i, j := range res.Measured {
+				idx, ok := index[j]
+				if !ok {
+					return fmt.Errorf("export: measured job %d is not in Jobs", j.Spec.ID)
+				}
+				arch.Measured[i] = idx
+			}
+		}
+	} else if res.Measured != nil {
+		return fmt.Errorf("export: result has Measured jobs but no Jobs")
+	}
+	if res.UtilSeries != nil {
+		arch.UtilSeries = make([]archivedUtil, len(res.UtilSeries))
+		for i, s := range res.UtilSeries {
+			arch.UtilSeries[i] = archivedUtil{Time: s.Time, InUse: s.InUse}
+		}
+	}
+	if res.Events != nil {
+		arch.Events = make([]archivedEvent, len(res.Events))
+		for i, ev := range res.Events {
+			arch.Events[i] = archivedEvent{Time: ev.Time, JobID: ev.JobID, Kind: int(ev.Kind), GPUs: ev.GPUs}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(&arch); err != nil {
+		return fmt.Errorf("export: encode result: %w", err)
+	}
+	return nil
+}
+
+// DecodeResult reads an archive written by EncodeResult back into a
+// *sim.Result. Unknown fields and any format revision other than the
+// current one are rejected — a store populated by a future codec fails
+// loudly instead of yielding a silently lossy result.
+func DecodeResult(r io.Reader) (*sim.Result, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("export: read result archive: %w", err)
+	}
+	// Peek at the format tag before a strict decode, so an archive from a
+	// newer codec (with fields this decoder does not know) reports the
+	// version mismatch, not a confusing unknown-field error.
+	var probe struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("export: decode result archive: %w", err)
+	}
+	if probe.Format != resultFormat {
+		return nil, fmt.Errorf("export: result archive format %q, want %q (codec version mismatch)", probe.Format, resultFormat)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var arch resultArchive
+	if err := dec.Decode(&arch); err != nil {
+		return nil, fmt.Errorf("export: decode result archive: %w", err)
+	}
+
+	res := &sim.Result{
+		Makespan:              arch.Makespan,
+		Utilization:           arch.Utilization,
+		ProductiveUtilization: arch.ProductiveUtilization,
+		Rounds:                arch.Rounds,
+		PlaceTimes:            arch.PlaceTimes,
+		Truncated:             arch.Truncated,
+		Unfinished:            arch.Unfinished,
+	}
+	if arch.Jobs != nil {
+		res.Jobs = make([]*sim.Job, len(arch.Jobs))
+		for i, aj := range arch.Jobs {
+			res.Jobs[i] = &sim.Job{
+				Spec: trace.JobSpec{
+					ID:      aj.ID,
+					Model:   aj.Model,
+					Class:   vprof.Class(aj.Class),
+					Arrival: aj.Arrival,
+					Demand:  aj.Demand,
+					Work:    aj.Work,
+				},
+				Remaining:   aj.Remaining,
+				Alloc:       intsToGPUs(aj.Alloc),
+				Attained:    aj.Attained,
+				Started:     aj.Started,
+				FirstRun:    aj.FirstRun,
+				Finish:      aj.Finish,
+				Done:        aj.Done,
+				Preemptions: aj.Preemptions,
+				Migrations:  aj.Migrations,
+				PrevAlloc:   intsToGPUs(aj.PrevAlloc),
+			}
+		}
+	}
+	if arch.Measured != nil {
+		res.Measured = make([]*sim.Job, len(arch.Measured))
+		for i, idx := range arch.Measured {
+			if idx < 0 || idx >= len(res.Jobs) {
+				return nil, fmt.Errorf("export: result archive: measured index %d out of range (have %d jobs)", idx, len(res.Jobs))
+			}
+			res.Measured[i] = res.Jobs[idx]
+		}
+	}
+	if arch.UtilSeries != nil {
+		res.UtilSeries = make([]sim.UtilSample, len(arch.UtilSeries))
+		for i, s := range arch.UtilSeries {
+			res.UtilSeries[i] = sim.UtilSample{Time: s.Time, InUse: s.InUse}
+		}
+	}
+	if arch.Events != nil {
+		res.Events = make([]sim.Event, len(arch.Events))
+		for i, ev := range arch.Events {
+			res.Events[i] = sim.Event{Time: ev.Time, JobID: ev.JobID, Kind: sim.EventKind(ev.Kind), GPUs: ev.GPUs}
+		}
+	}
+	if arch.Metrics != nil {
+		res.Metrics = metrics.NewArchivedSink(arch.Metrics)
+	}
+	return res, nil
+}

@@ -1,0 +1,31 @@
+package metrics
+
+import "repro/internal/sim"
+
+// ArchivedSink is the read-only sim.MetricsSink a payload loaded from an
+// archive rides on. When the artifact store (internal/store) decodes a
+// persisted result, the run's telemetry must surface exactly like a live
+// run's — Result.Metrics non-nil and FromResult returning the payload —
+// so consumers (palsweep -metrics, palreport) cannot tell a warm-started
+// result from a freshly simulated one. An ArchivedSink carries the
+// already-final payload; it must never be attached to a live engine
+// (sim.Config.Metrics wants a fresh Collector), so its observation
+// hooks are inert.
+type ArchivedSink struct {
+	payload *Payload
+}
+
+// NewArchivedSink wraps an archived payload as a sink.
+func NewArchivedSink(p *Payload) *ArchivedSink {
+	return &ArchivedSink{payload: p}
+}
+
+// ObserveRounds implements sim.MetricsSink as a no-op: an archived
+// payload is final.
+func (s *ArchivedSink) ObserveRounds(sim.RoundObservation) {}
+
+// FinishRun implements sim.MetricsSink as a no-op.
+func (s *ArchivedSink) FinishRun(*sim.Result) {}
+
+// Payload returns the archived payload (the method FromResult reads).
+func (s *ArchivedSink) Payload() *Payload { return s.payload }

@@ -259,13 +259,16 @@ func (c *Collector) Payload() *Payload { return c.finals }
 func (c *Collector) Rounds() int64 { return c.round }
 
 // FromResult returns the payload collected during res's run, or nil when
-// the run had no metrics attached (or a custom non-Collector sink).
+// the run had no metrics attached (or a custom sink that does not expose
+// a payload). Both live runs (*Collector) and results decoded from the
+// artifact store (*ArchivedSink) satisfy the interface, so downstream
+// consumers need not know whether a result was simulated or loaded.
 func FromResult(res *sim.Result) *Payload {
 	if res == nil || res.Metrics == nil {
 		return nil
 	}
-	if c, ok := res.Metrics.(*Collector); ok {
-		return c.Payload()
+	if p, ok := res.Metrics.(interface{ Payload() *Payload }); ok {
+		return p.Payload()
 	}
 	return nil
 }

@@ -14,12 +14,31 @@ import (
 // keeping the worst case around a few hundred MB of retained results.
 const DefaultCacheCapacity = 512
 
+// Backend is a second cache tier behind the in-memory LRU: a durable,
+// cross-process result store (internal/store is the implementation; the
+// interface lives here so the dependency arrow keeps pointing downward).
+// Get returns (result, found, error); a lookup error is NOT a miss —
+// the cache degrades to computing, counting the failure in its stats.
+// Put persists a freshly computed result. Implementations must be safe
+// for concurrent use; values handed over are shared and read-only.
+type Backend interface {
+	Get(key string) (*sim.Result, bool, error)
+	Put(key string, res *sim.Result) error
+}
+
 // ResultCache is a content-addressed store of simulation results with
 // LRU eviction and single-flight deduplication: concurrent requests for
 // the same key run the computation once and share the outcome. It
 // replaces the ad-hoc sync.Map caches the experiments layer used to
 // keep, which never evicted and were keyed on name strings rather than
 // the full run configuration.
+//
+// With a Backend attached (SetBackend), the cache becomes two-tiered:
+// the in-memory LRU is tier 1, the backend tier 2. A memory miss
+// consults the backend before computing, a successful computation is
+// written through, and single-flight spans both tiers — concurrent
+// callers for one key share a single backend lookup and at most one
+// computation.
 //
 // Cached values are shared between callers and must be treated as
 // read-only; every consumer in this repository only reads results.
@@ -29,9 +48,23 @@ type ResultCache struct {
 	ll       *list.List               // front = most recently used
 	entries  map[string]*list.Element // key -> element holding *cacheEntry
 	inflight map[string]*flight
+	backend  Backend
 
-	hits, misses int64
+	hits        int64 // memory-tier hits (including in-flight dedup)
+	misses      int64 // both tiers missed: the computation actually ran
+	storeHits   int64 // memory missed, backend hit
+	stored      int64 // results written through to the backend
+	storeErrors int64 // backend Get/Put failures (degraded, not fatal)
+	// errorStreak counts consecutive backend failures; at
+	// backendErrorLimit the backend is dropped for the cache's lifetime,
+	// so a hung or broken store costs at most a bounded number of I/O
+	// timeouts before the cache truly degrades to memory-only.
+	errorStreak int
 }
+
+// backendErrorLimit is the consecutive-failure count at which the
+// backend is detached. Any success resets the streak.
+const backendErrorLimit = 5
 
 // cacheEntry is the LRU list payload.
 type cacheEntry struct {
@@ -61,17 +94,42 @@ func NewResultCache(capacity int) *ResultCache {
 	}
 }
 
-// CacheStats is a snapshot of hit/miss counters.
+// SetBackend attaches (or, with nil, detaches) the durable second tier.
+// Call it before handing the cache to a pool; swapping backends while
+// lookups are in flight routes each lookup through whichever backend it
+// observed first.
+func (c *ResultCache) SetBackend(b Backend) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.backend = b
+}
+
+// CacheStats is a snapshot of the cache's counters, split by tier.
 type CacheStats struct {
+	// Hits counts memory-tier hits, including callers that waited on
+	// another caller's in-flight computation. Misses counts lookups both
+	// tiers missed — i.e. computations that actually ran.
 	Hits, Misses int64
-	Entries      int
+	// StoreHits counts lookups satisfied by the backend tier; Stored
+	// counts results written through to it; StoreErrors counts backend
+	// failures the cache degraded around (computing instead of loading,
+	// or skipping the write-through).
+	StoreHits, Stored, StoreErrors int64
+	Entries                        int
 }
 
 // Stats returns the cache's counters.
 func (c *ResultCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len()}
+	return CacheStats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		StoreHits:   c.storeHits,
+		Stored:      c.stored,
+		StoreErrors: c.storeErrors,
+		Entries:     c.ll.Len(),
+	}
 }
 
 // Len returns the number of cached results.
@@ -81,12 +139,16 @@ func (c *ResultCache) Len() int {
 	return c.ll.Len()
 }
 
-// Do returns the cached result for key, or runs compute exactly once
-// across concurrent callers and caches a successful outcome. The second
-// return reports whether the value came from the cache or another
-// caller's in-flight computation (a "hit" in the dedup sense). Errors
-// are propagated to every waiter but never cached, so a failed
-// computation can be retried.
+// Do returns the cached result for key — from the memory tier, another
+// caller's in-flight lookup, or the backend tier — or runs compute
+// exactly once across concurrent callers and caches (and writes
+// through) a successful outcome. The second return reports whether the
+// value came from either cache tier or another caller's in-flight
+// computation (a "hit" in the dedup sense); it is false only when this
+// call actually computed. Errors from compute are propagated to every
+// waiter but never cached, so a failed computation can be retried.
+// Backend failures never fail the lookup: a broken store degrades the
+// cache to memory-only and is counted in Stats().StoreErrors.
 func (c *ResultCache) Do(key string, compute func() (*sim.Result, error)) (*sim.Result, bool, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -104,7 +166,7 @@ func (c *ResultCache) Do(key string, compute func() (*sim.Result, error)) (*sim.
 	}
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
-	c.misses++
+	backend := c.backend
 	c.mu.Unlock()
 
 	// The closing of f.done and the inflight cleanup must survive a
@@ -126,9 +188,65 @@ func (c *ResultCache) Do(key string, compute func() (*sim.Result, error)) (*sim.
 		c.mu.Unlock()
 		close(f.done)
 	}()
+
+	// Backend tier. The flight is already registered, so concurrent
+	// callers for this key wait on one disk read, never a stampede.
+	if backend != nil {
+		res, ok, err := backend.Get(key)
+		switch {
+		case err != nil:
+			c.backendFailed()
+		case ok:
+			c.backendWorked(&c.storeHits)
+			f.res = res
+			returned = true
+			return res, true, nil
+		default:
+			c.backendWorked(nil) // clean miss: the backend is healthy
+		}
+	}
+
+	c.count(&c.misses)
 	f.res, f.err = compute()
 	returned = true
+	if f.err == nil && f.res != nil && backend != nil {
+		if err := backend.Put(key, f.res); err != nil {
+			c.backendFailed()
+		} else {
+			c.backendWorked(&c.stored)
+		}
+	}
 	return f.res, false, f.err
+}
+
+// count bumps one counter under the cache mutex.
+func (c *ResultCache) count(p *int64) {
+	c.mu.Lock()
+	*p++
+	c.mu.Unlock()
+}
+
+// backendFailed records one backend failure; backendErrorLimit
+// consecutive failures detach the backend so a hung store costs a
+// bounded number of timeouts before the cache is truly memory-only.
+func (c *ResultCache) backendFailed() {
+	c.mu.Lock()
+	c.storeErrors++
+	c.errorStreak++
+	if c.errorStreak >= backendErrorLimit {
+		c.backend = nil
+	}
+	c.mu.Unlock()
+}
+
+// backendWorked resets the failure streak, bumping counter when given.
+func (c *ResultCache) backendWorked(counter *int64) {
+	c.mu.Lock()
+	if counter != nil {
+		*counter++
+	}
+	c.errorStreak = 0
+	c.mu.Unlock()
 }
 
 // Get returns the cached result for key without computing anything.

@@ -68,7 +68,11 @@ func (e *PanicError) Error() string {
 type Stats struct {
 	Submitted int64 // tasks handed to Run/Stream
 	Completed int64 // tasks finished (including cache hits and errors)
-	CacheHits int64 // tasks satisfied from the result cache
+	CacheHits int64 // tasks satisfied from the result cache (either tier)
+	// Executed counts tasks whose Run closure actually ran — simulations
+	// truly performed, as opposed to results served from the memory or
+	// store tier. A fully warm-started sweep reports Executed == 0.
+	Executed int64
 }
 
 // Pool executes tasks with bounded concurrency. The bound is
@@ -88,6 +92,7 @@ type Pool struct {
 	submitted atomic.Int64
 	completed atomic.Int64
 	cacheHits atomic.Int64
+	executed  atomic.Int64
 }
 
 // NewPool returns a pool running at most workers tasks concurrently.
@@ -112,6 +117,7 @@ func (p *Pool) Stats() Stats {
 		Submitted: p.submitted.Load(),
 		Completed: p.completed.Load(),
 		CacheHits: p.cacheHits.Load(),
+		Executed:  p.executed.Load(),
 	}
 }
 
@@ -276,6 +282,7 @@ func (p *Pool) Stream(ctx context.Context, tasks []Task, deliver func(i int, res
 func (p *Pool) exec(t Task) (*sim.Result, error) {
 	defer p.completed.Add(1)
 	run := func() (res *sim.Result, err error) {
+		p.executed.Add(1)
 		defer func() {
 			if r := recover(); r != nil {
 				err = &PanicError{Label: t.Label, Value: r, Stack: debug.Stack()}

@@ -1,0 +1,384 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Tests for the cache's concurrency contract (LRU eviction order and
+// single-flight dedup under goroutine pressure) and for the backend
+// tier (store hits, write-through, degradation on store failure) —
+// run under -race in CI.
+
+// fakeBackend is an in-memory runner.Backend with injectable failures
+// and call counters.
+type fakeBackend struct {
+	mu      sync.Mutex
+	objects map[string]*sim.Result
+	gets    int
+	puts    int
+	getErr  error
+	putErr  error
+}
+
+func newFakeBackend() *fakeBackend {
+	return &fakeBackend{objects: make(map[string]*sim.Result)}
+}
+
+func (b *fakeBackend) Get(key string) (*sim.Result, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.gets++
+	if b.getErr != nil {
+		return nil, false, b.getErr
+	}
+	res, ok := b.objects[key]
+	return res, ok, nil
+}
+
+func (b *fakeBackend) Put(key string, res *sim.Result) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.puts++
+	if b.putErr != nil {
+		return b.putErr
+	}
+	b.objects[key] = res
+	return nil
+}
+
+// TestResultCacheLRUEvictionOrder pins the eviction order precisely:
+// with capacity 3, touching an old entry must protect it and the
+// least-recently-used entry — counting both Do hits and Get touches as
+// uses — must be the one recomputed.
+func TestResultCacheLRUEvictionOrder(t *testing.T) {
+	c := NewResultCache(3)
+	computes := map[string]int{}
+	do := func(key string) {
+		t.Helper()
+		if _, _, err := c.Do(key, func() (*sim.Result, error) {
+			computes[key]++
+			return fakeResult(len(key)), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expect := func(key string, want int) {
+		t.Helper()
+		if got := computes[key]; got != want {
+			t.Errorf("%s computed %d times, want %d", key, got, want)
+		}
+	}
+	do("k1")
+	do("k2")
+	do("k3") // MRU->LRU: k3 k2 k1
+	if _, ok := c.Get("k1"); !ok {
+		t.Fatal("k1 missing")
+	} // touch: k1 k3 k2
+	do("k4")        // evicts k2 (LRU): k4 k1 k3
+	do("k3")        // hit — k3 survived the insertion: k3 k4 k1
+	expect("k3", 1) //
+	do("k2")        // recompute — k2 was the one evicted: k2 k3 k4 (k1 out)
+	expect("k2", 2) //
+	do("k4")        // hit — k4 survived because k1 was LRU: k4 k2 k3
+	expect("k4", 1) //
+	do("k1")        // recompute — the Get touch only protected k1 until step 4
+	expect("k1", 2) // k1 k4 k2 (k3 out)
+	do("k2")        // still resident
+	expect("k2", 2) //
+	if c.Len() != 3 {
+		t.Errorf("Len = %d, want capacity 3", c.Len())
+	}
+}
+
+// TestResultCacheSingleflightUnderPressure: 16 goroutines hammering a
+// handful of overlapping keys must trigger exactly one computation per
+// key, with every caller observing that key's canonical result.
+func TestResultCacheSingleflightUnderPressure(t *testing.T) {
+	const goroutines = 16
+	const keySpace = 4
+	c := NewResultCache(keySpace)
+	var computes [keySpace]atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	start := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 32; i++ {
+				k := (g + i) % keySpace
+				key := fmt.Sprintf("key-%d", k)
+				res, _, err := c.Do(key, func() (*sim.Result, error) {
+					computes[k].Add(1)
+					time.Sleep(time.Millisecond) // widen the dedup window
+					return fakeResult(k), nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Rounds != k {
+					errs <- fmt.Errorf("key %d returned result %d", k, res.Rounds)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for k := 0; k < keySpace; k++ {
+		if got := computes[k].Load(); got != 1 {
+			t.Errorf("key %d computed %d times, want 1", k, got)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != keySpace {
+		t.Errorf("misses = %d, want %d", st.Misses, keySpace)
+	}
+	if want := int64(goroutines*32 - keySpace); st.Hits != want {
+		t.Errorf("hits = %d, want %d", st.Hits, want)
+	}
+}
+
+// TestResultCacheEvictionChurnUnderRace drives 16 goroutines over a key
+// space much larger than the cache capacity, so eviction, re-computation
+// and single-flight interleave continuously. The assertions are
+// consistency ones (every caller gets its key's value); the real check
+// is the race detector.
+func TestResultCacheEvictionChurnUnderRace(t *testing.T) {
+	const goroutines = 16
+	c := NewResultCache(4)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 64; i++ {
+				k := (g*7 + i*3) % 32
+				key := fmt.Sprintf("churn-%d", k)
+				res, _, err := c.Do(key, func() (*sim.Result, error) {
+					return fakeResult(k), nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Rounds != k {
+					errs <- fmt.Errorf("key %d returned result %d", k, res.Rounds)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if c.Len() > 4 {
+		t.Errorf("cache grew past capacity: %d", c.Len())
+	}
+}
+
+// TestCacheBackendTier covers the two-tier read path: a memory miss
+// consults the backend, a backend hit populates the memory tier (no
+// second backend read), and a computation writes through exactly once.
+func TestCacheBackendTier(t *testing.T) {
+	b := newFakeBackend()
+	c := NewResultCache(8)
+	c.SetBackend(b)
+
+	// Cold: both tiers miss, compute runs, write-through stores.
+	computes := 0
+	res, hit, err := c.Do("k", func() (*sim.Result, error) {
+		computes++
+		return fakeResult(1), nil
+	})
+	if err != nil || hit || res.Rounds != 1 {
+		t.Fatalf("cold Do: res=%v hit=%v err=%v", res, hit, err)
+	}
+	if b.puts != 1 || len(b.objects) != 1 {
+		t.Fatalf("write-through: puts=%d objects=%d", b.puts, len(b.objects))
+	}
+
+	// Memory hit: the backend is not consulted again.
+	gets := b.gets
+	noCompute := func() (*sim.Result, error) { return nil, errors.New("unexpected compute") }
+	if _, hit, _ := c.Do("k", noCompute); !hit {
+		t.Fatal("memory tier missed")
+	}
+	if b.gets != gets {
+		t.Errorf("memory hit consulted the backend (%d -> %d gets)", gets, b.gets)
+	}
+
+	// A fresh cache over the same backend warm-starts: the backend hit
+	// counts as a hit, the value enters the memory tier, and compute
+	// never runs.
+	c2 := NewResultCache(8)
+	c2.SetBackend(b)
+	res, hit, err = c2.Do("k", func() (*sim.Result, error) {
+		t.Fatal("computed despite a store hit")
+		return nil, nil
+	})
+	if err != nil || !hit || res.Rounds != 1 {
+		t.Fatalf("warm Do: res=%v hit=%v err=%v", res, hit, err)
+	}
+	st := c2.Stats()
+	if st.StoreHits != 1 || st.Misses != 0 {
+		t.Errorf("stats after store hit: %+v", st)
+	}
+	gets = b.gets
+	if _, hit, _ := c2.Do("k", noCompute); !hit {
+		t.Fatal("store hit did not populate the memory tier")
+	}
+	if b.gets != gets {
+		t.Error("second lookup consulted the backend again")
+	}
+	if computes != 1 {
+		t.Errorf("computes = %d, want 1 across both caches", computes)
+	}
+}
+
+// TestCacheBackendDegradation: a failing backend must never fail a
+// lookup — Get errors fall through to computation, Put errors keep the
+// computed result — and both are counted.
+func TestCacheBackendDegradation(t *testing.T) {
+	b := newFakeBackend()
+	b.getErr = errors.New("disk on fire")
+	b.putErr = errors.New("disk still on fire")
+	c := NewResultCache(8)
+	c.SetBackend(b)
+	res, hit, err := c.Do("k", func() (*sim.Result, error) { return fakeResult(7), nil })
+	if err != nil || hit || res.Rounds != 7 {
+		t.Fatalf("degraded Do: res=%v hit=%v err=%v", res, hit, err)
+	}
+	st := c.Stats()
+	if st.StoreErrors != 2 { // one failed Get, one failed Put
+		t.Errorf("storeErrors = %d, want 2", st.StoreErrors)
+	}
+	if st.Stored != 0 {
+		t.Errorf("stored = %d, want 0", st.Stored)
+	}
+	// The result is still served from memory afterwards.
+	if _, hit, _ := c.Do("k", func() (*sim.Result, error) {
+		return nil, errors.New("unexpected compute")
+	}); !hit {
+		t.Error("degraded result not cached in memory")
+	}
+}
+
+// TestCacheBackendCircuitBreaker: a persistently failing backend is
+// detached after backendErrorLimit consecutive failures, so a hung
+// store costs a bounded number of timeouts — after that, lookups stop
+// paying backend I/O entirely.
+func TestCacheBackendCircuitBreaker(t *testing.T) {
+	b := newFakeBackend()
+	b.getErr = errors.New("mount wedged")
+	b.putErr = errors.New("mount wedged")
+	c := NewResultCache(32)
+	c.SetBackend(b)
+	// Each Do costs two failures (Get + Put); drive past the limit.
+	for i := 0; i*2 < backendErrorLimit; i++ {
+		key := fmt.Sprintf("cb-%d", i)
+		if _, _, err := c.Do(key, func() (*sim.Result, error) { return fakeResult(i), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gets := b.gets
+	if _, _, err := c.Do("cb-after", func() (*sim.Result, error) { return fakeResult(99), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if b.gets != gets || b.puts != gets {
+		t.Errorf("backend still consulted after breaker tripped (gets %d -> %d)", gets, b.gets)
+	}
+	if st := c.Stats(); st.StoreErrors < backendErrorLimit {
+		t.Errorf("storeErrors = %d, want >= %d", st.StoreErrors, backendErrorLimit)
+	}
+	// A success in between resets the streak: errors spread thinner than
+	// the limit never trip the breaker.
+	b2 := newFakeBackend()
+	c2 := NewResultCache(32)
+	c2.SetBackend(b2)
+	for i := 0; i < backendErrorLimit*3; i++ {
+		b2.getErr, b2.putErr = nil, nil
+		if i%2 == 0 { // alternate failures with successes
+			b2.getErr = errors.New("flaky")
+			b2.putErr = errors.New("flaky")
+		}
+		key := fmt.Sprintf("flaky-%d", i)
+		if _, _, err := c2.Do(key, func() (*sim.Result, error) { return fakeResult(i), nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gets = b2.gets
+	if _, _, err := c2.Do("flaky-final", func() (*sim.Result, error) { return fakeResult(1), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if b2.gets == gets {
+		t.Error("breaker tripped despite successes resetting the streak")
+	}
+}
+
+// TestCacheBackendSingleflight: concurrent callers for one key share a
+// single backend lookup, not a read stampede.
+func TestCacheBackendSingleflight(t *testing.T) {
+	b := newFakeBackend()
+	b.objects["k"] = fakeResult(3)
+	slow := &slowBackend{inner: b, delay: 5 * time.Millisecond}
+	c := NewResultCache(8)
+	c.SetBackend(slow)
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, hit, err := c.Do("k", func() (*sim.Result, error) {
+				return nil, errors.New("computed despite a stored object")
+			})
+			if err != nil || !hit || res.Rounds != 3 {
+				errs <- fmt.Errorf("res=%v hit=%v err=%v", res, hit, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if b.gets != 1 {
+		t.Errorf("backend gets = %d, want 1 (single-flight across tiers)", b.gets)
+	}
+}
+
+// slowBackend wraps a backend with latency to widen dedup windows.
+type slowBackend struct {
+	inner *fakeBackend
+	delay time.Duration
+}
+
+func (s *slowBackend) Get(key string) (*sim.Result, bool, error) {
+	time.Sleep(s.delay)
+	return s.inner.Get(key)
+}
+
+func (s *slowBackend) Put(key string, res *sim.Result) error {
+	return s.inner.Put(key, res)
+}

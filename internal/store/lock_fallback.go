@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix platforms have no flock in the standard library and this
+// repository takes no external dependencies, so cross-process advisory
+// locking degrades to a no-op there (see the discussion in lock.go:
+// object integrity never depends on the lock, only index metadata
+// precision does).
+func flock(*os.File, bool) error { return nil }
+
+func funlock(*os.File) {}

@@ -1,0 +1,24 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// flock takes a BSD advisory lock on f, blocking until granted. Closing
+// the file (release) drops the lock even if the process dies first, so
+// a crashed holder can never wedge the store.
+func flock(f *os.File, exclusive bool) error {
+	how := syscall.LOCK_SH
+	if exclusive {
+		how = syscall.LOCK_EX
+	}
+	return syscall.Flock(int(f.Fd()), how)
+}
+
+// funlock releases the advisory lock.
+func funlock(f *os.File) {
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}
