@@ -22,11 +22,18 @@
 //	palreport -in a.metrics.json,b.metrics.json -format md
 //	palreport -in out/ -baseline sia-tiresias -format csv -out tables/
 //	palreport -in results/.palstore            # telemetry embedded in a result store
+//	palreport -in out/ -decisions              # + decision-trace summary table
 //
 // A token that is a result-store directory (the layout palsweep -store
 // writes) contributes the telemetry payload embedded in every stored
 // result, so archived sweeps are tabulated straight from the store with
 // no separate -metrics pass.
+//
+// -decisions appends a fourth table, decisions_summary: one row per
+// archived decision trace (*.decisions.json next to the payloads, or
+// embedded in stored results) counting its records, placements,
+// preemptions and migrations. Per-job timelines and round-level diffs
+// are cmd/palexplain's job.
 //
 // Formats and the -out directory behave exactly like palsweep's.
 package main
@@ -38,6 +45,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/decision"
 	"repro/internal/experiments"
 	"repro/internal/export"
 	"repro/internal/metrics"
@@ -50,10 +58,11 @@ var cdfPercentiles = []float64{10, 25, 50, 75, 90, 95, 99}
 
 func main() {
 	var (
-		in       = flag.String("in", "", "comma-separated payload files, directories or globs (*.metrics.json), or result-store directories (palsweep -store)")
-		baseline = flag.String("baseline", "", "payload name to compare against (default: the first payload)")
-		format   = flag.String("format", "text", "output format: text, csv, md, json")
-		outDir   = flag.String("out", "", "write one file per table into this directory instead of stdout")
+		in        = flag.String("in", "", "comma-separated payload files, directories or globs (*.metrics.json), or result-store directories (palsweep -store)")
+		baseline  = flag.String("baseline", "", "payload name to compare against (default: the first payload)")
+		format    = flag.String("format", "text", "output format: text, csv, md, json")
+		outDir    = flag.String("out", "", "write one file per table into this directory instead of stdout")
+		decisions = flag.Bool("decisions", false, "also tabulate archived decision traces (*.decisions.json or store-embedded) — one summary row per run; render full timelines with palexplain")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -97,6 +106,120 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *decisions {
+		traces := loadTraces(*in)
+		if len(traces) == 0 {
+			fatal(fmt.Errorf("-decisions: no decision traces found in %q (enable the spec's decisions block and re-archive)", *in))
+		}
+		if err := emit(decisionsTable(traces), *format, *outDir); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// loadTraces resolves the -in argument to decision traces, mirroring
+// loadPayloads: store directories contribute every stored result's
+// embedded trace (Peek, not Get — reporting must not refresh GC
+// recency), other tokens expand to *.decisions.json files.
+func loadTraces(arg string) []*decision.Trace {
+	var traces []*decision.Trace
+	for _, tok := range strings.Split(arg, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if store.IsStoreRoot(tok) {
+			st, err := store.Open(tok)
+			if err != nil {
+				fatal(err)
+			}
+			keys, err := st.Keys()
+			if err != nil {
+				fatal(err)
+			}
+			for _, key := range keys {
+				res, ok, err := st.Peek(key)
+				if err != nil {
+					fatal(err)
+				}
+				if !ok {
+					continue // raced with a concurrent GC
+				}
+				tr := decision.FromResult(res)
+				if tr == nil {
+					continue
+				}
+				cp := *tr
+				if cp.Key == "" {
+					cp.Key = key
+				}
+				if cp.Name == "" {
+					cp.Name = key[:12]
+				}
+				traces = append(traces, &cp)
+			}
+			continue
+		}
+		// Tolerate tokens that only matched metrics payloads: -decisions
+		// rides on the same -in as the metrics tables, and a mixed archive
+		// directory is the common case, so misses here are not errors.
+		paths, err := export.ExpandFileArgs(tok, export.DecisionsExt)
+		if err != nil {
+			continue
+		}
+		for _, path := range paths {
+			if !strings.HasSuffix(path, export.DecisionsExt) {
+				continue
+			}
+			t, err := decision.LoadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			if t.Name == "" {
+				t.Name = strings.TrimSuffix(filepath.Base(path), export.DecisionsExt)
+			}
+			traces = append(traces, t)
+		}
+	}
+	return traces
+}
+
+// decisionsTable renders one summary row per archived decision trace:
+// how many coalesced decision records the run produced, what they
+// contain, and whether the ring dropped any. Full timelines and per-job
+// "why" views are palexplain's job.
+func decisionsTable(traces []*decision.Trace) *experiments.Table {
+	t := &experiments.Table{
+		Name:  "decisions_summary",
+		Title: "per-run decision-trace summary (from archived traces)",
+		Header: []string{"run", "policy", "sched", "records", "rounds",
+			"placements", "preemptions", "migrations", "truncated"},
+	}
+	for _, tr := range traces {
+		placements, preemptions, migrations := 0, 0, 0
+		for _, rec := range tr.Records {
+			placements += len(rec.Placements)
+			preemptions += len(rec.Preemptions)
+			for _, p := range rec.Placements {
+				if p.Migrated {
+					migrations++
+				}
+			}
+		}
+		truncated := ""
+		if tr.Truncated {
+			truncated = fmt.Sprintf("yes (%d dropped)", tr.Dropped)
+		}
+		t.AddRowf(tr.Name, tr.Policy, tr.Sched, len(tr.Records), tr.Rounds,
+			placements, preemptions, migrations, truncated)
+		if key := tr.Key; key != "" {
+			if len(key) > 16 {
+				key = key[:16]
+			}
+			t.Note("%s: key %s", tr.Name, key)
+		}
+	}
+	return t
 }
 
 // loadPayloads resolves the -in argument to payloads. Each

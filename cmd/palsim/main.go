@@ -10,6 +10,7 @@
 //	palsim -scenario examples/scenario/spec.json
 //	palsim -scenario spec.json -dump-trace workload.json   # save the generated workload for replay
 //	palsim -scenario spec.json -metrics out/               # archive telemetry (series CSVs + payload JSON)
+//	palsim -scenario spec.json -decisions -metrics out/    # + decision trace, ready for palexplain
 //	palsim -scenario spec.json -store results/.palstore    # repeat runs become O(read)
 //
 // With -scenario, the whole configuration comes from the JSON spec
@@ -26,6 +27,7 @@ import (
 	"os"
 
 	"repro/internal/cluster"
+	"repro/internal/decision"
 	"repro/internal/experiments"
 	"repro/internal/export"
 	"repro/internal/metrics"
@@ -55,12 +57,13 @@ func main() {
 		scenPath   = flag.String("scenario", "", "run a declarative scenario spec (JSON) instead of the flag-built configuration")
 		dumpTrace  = flag.String("dump-trace", "", "with -scenario: save the scenario's workload as JSON for replay via a file-sourced spec")
 		metricsDir = flag.String("metrics", "", "collect telemetry and dump the run's series (CSV) and payload (JSON) into this directory")
+		decisions  = flag.Bool("decisions", false, "record the decision trace (internal/decision); with -metrics, the trace is archived next to the payload for palexplain")
 		storeDir   = flag.String("store", "", "persistent result-store directory: repeat runs of the same configuration load from disk instead of simulating")
 	)
 	flag.Parse()
 
 	if *scenPath != "" {
-		runScenario(*scenPath, *dumpTrace, *asJSON, *events, *utilize, *metricsDir, *storeDir)
+		runScenario(*scenPath, *dumpTrace, *asJSON, *events, *utilize, *metricsDir, *decisions, *storeDir)
 		return
 	}
 	if *dumpTrace != "" {
@@ -101,16 +104,17 @@ func main() {
 	}
 
 	spec := experiments.RunSpec{
-		Trace:         tr,
-		Topo:          topo,
-		Sched:         s,
-		Policy:        pol,
-		Profile:       experiments.LonghornProfile(topo.Size()),
-		Lacross:       *lacross,
-		Seed:          *seed,
-		RecordUtil:    *utilize,
-		RecordEvents:  *events > 0,
-		RecordMetrics: *metricsDir != "",
+		Trace:           tr,
+		Topo:            topo,
+		Sched:           s,
+		Policy:          pol,
+		Profile:         experiments.LonghornProfile(topo.Size()),
+		Lacross:         *lacross,
+		Seed:            *seed,
+		RecordUtil:      *utilize,
+		RecordEvents:    *events > 0,
+		RecordMetrics:   *metricsDir != "",
+		RecordDecisions: *decisions,
 	}
 	if *perModel {
 		spec.ModelLacross = trace.LacrossByModel()
@@ -142,7 +146,10 @@ func main() {
 // -store is set: a stored result for the run's content-addressed key is
 // loaded instead of simulating, and a fresh result is persisted for
 // later invocations. Store failures degrade to simulating (with a
-// warning), mirroring the runner cache's backend semantics.
+// warning), mirroring the runner cache's backend semantics. It finishes
+// with the same `simulated / cache hits (memory, store) / stored`
+// summary line palsweep prints, so warm starts are observable from both
+// CLIs (palsim has no in-memory tier, so "memory" is always 0 here).
 func throughStore(dir, key string, run func() (*sim.Result, error)) *sim.Result {
 	var st *store.Store
 	if dir != "" {
@@ -158,6 +165,7 @@ func throughStore(dir, key string, run func() (*sim.Result, error)) *sim.Result 
 			fmt.Fprintf(os.Stderr, "palsim: store degraded, simulating: %v\n", err)
 		case ok:
 			fmt.Fprintf(os.Stderr, "palsim: loaded result from store (key %s)\n", key[:16])
+			fmt.Fprintln(os.Stderr, "palsim: 0 simulated, 1 cache hits (0 memory, 1 store)")
 			return res
 		}
 	}
@@ -167,18 +175,23 @@ func throughStore(dir, key string, run func() (*sim.Result, error)) *sim.Result 
 		os.Exit(1)
 	}
 	if st != nil {
+		summary := "1 simulated, 0 cache hits (0 memory, 0 store)"
 		if err := st.Put(key, res); err != nil {
 			fmt.Fprintf(os.Stderr, "palsim: store write failed: %v\n", err)
+			summary += ", 1 store errors"
 		} else {
 			fmt.Fprintf(os.Stderr, "palsim: stored result (key %s)\n", key[:16])
+			summary += ", 1 stored"
 		}
+		fmt.Fprintf(os.Stderr, "palsim: %s\n", summary)
 	}
 	return res
 }
 
 // dumpMetrics archives a run's telemetry payload (with the cache key
 // stamped on a copy — the original may be shared through the runner
-// cache) and per-series CSVs.
+// cache) and per-series CSVs, plus the run's decision trace when one was
+// recorded (ready for cmd/palexplain).
 func dumpMetrics(dir, base string, res *sim.Result, key string) {
 	payload := metrics.FromResult(res)
 	if payload == nil {
@@ -193,6 +206,16 @@ func dumpMetrics(dir, base string, res *sim.Result, key string) {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "palsim: wrote metrics payload %s (+%d series CSVs)\n", path, len(p.Series))
+	if tr := decision.FromResult(res); tr != nil {
+		t := *tr
+		t.Key = key
+		tpath, err := export.WriteDecisionsFile(dir, base, &t)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "palsim: wrote decision trace %s (%d records)\n", tpath, len(t.Records))
+	}
 }
 
 // runScenario executes a declarative scenario spec end to end.
@@ -200,7 +223,7 @@ func dumpMetrics(dir, base string, res *sim.Result, key string) {
 // configuration, so they are honored by switching the spec's recording
 // knobs on (with a re-Normalize so the forced spec canonicalizes — and
 // cache-keys — exactly like a file that enabled them).
-func runScenario(path, dumpTrace string, asJSON bool, events int, utilize bool, metricsDir, storeDir string) {
+func runScenario(path, dumpTrace string, asJSON bool, events int, utilize bool, metricsDir string, decisions bool, storeDir string) {
 	// The spec owns the whole configuration; a flag-built knob alongside
 	// it would be silently ignored, so reject the combination.
 	conflicting := map[string]bool{
@@ -228,6 +251,11 @@ func runScenario(path, dumpTrace string, asJSON bool, events int, utilize bool, 
 	}
 	if metricsDir != "" {
 		spec.Metrics.Enabled = true
+	}
+	if decisions {
+		spec.Decisions.Enabled = true
+	}
+	if metricsDir != "" || decisions {
 		spec.Normalize()
 	}
 	built, err := spec.Build()

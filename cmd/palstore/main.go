@@ -5,7 +5,7 @@
 //
 // Subcommands:
 //
-//	palstore ls     -store DIR              list stored objects (key, size, ages)
+//	palstore ls     -store DIR              list stored objects (key, size, ages, embedded payloads)
 //	palstore info   -store DIR KEY          one object in detail (unique key prefix OK)
 //	palstore verify -store DIR              re-hash and decode every object
 //	palstore gc     -store DIR -max-bytes N -max-age DUR   evict LRU/stale objects
@@ -24,9 +24,11 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/decision"
 	"repro/internal/experiments"
 	"repro/internal/export"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/store"
 )
@@ -109,11 +111,16 @@ func cmdLs(args []string) {
 		return
 	}
 	now := time.Now()
-	fmt.Printf("%-16s  %10s  %12s  %12s\n", "KEY", "SIZE", "AGE", "LAST-ACCESS")
+	fmt.Printf("%-16s  %10s  %12s  %12s  %s\n", "KEY", "SIZE", "AGE", "LAST-ACCESS", "PAYLOAD")
 	var total int64
 	for _, info := range infos {
-		fmt.Printf("%-16s  %10d  %12s  %12s\n",
-			info.Key[:16], info.Size, age(now, info.Created), age(now, info.LastAccess))
+		// Peek, not Get: listing must not refresh GC recency.
+		payload := "?"
+		if res, ok, err := st.Peek(info.Key); err == nil && ok {
+			payload = payloadFlags(res)
+		}
+		fmt.Printf("%-16s  %10d  %12s  %12s  %s\n",
+			info.Key[:16], info.Size, age(now, info.Created), age(now, info.LastAccess), payload)
 		total += info.Size
 	}
 	fmt.Printf("%d objects, %.1f MiB (%s, codec %s)\n",
@@ -152,6 +159,14 @@ func cmdInfo(args []string) {
 		fmt.Printf("run          %s (policy %s, sched %s)\n", p.Name, p.Policy, p.Sched)
 	} else {
 		fmt.Printf("run          (no telemetry archived)\n")
+	}
+	fmt.Printf("payload      %s\n", payloadFlags(res))
+	if tr := decision.FromResult(res); tr != nil {
+		truncated := ""
+		if tr.Truncated {
+			truncated = fmt.Sprintf(" (truncated, %d dropped)", tr.Dropped)
+		}
+		fmt.Printf("decisions    %d records covering %d rounds%s\n", len(tr.Records), tr.Rounds, truncated)
 	}
 	jcts := res.JCTs()
 	fmt.Printf("jobs         %d (%d measured)\n", len(res.Jobs), len(res.Measured))
@@ -257,6 +272,22 @@ func cmdExport(args []string) {
 			fatal(err)
 		}
 	}
+}
+
+// payloadFlags summarizes which observability payloads an archived
+// result embeds: "metrics", "decisions", both, or "-" for a bare result.
+func payloadFlags(res *sim.Result) string {
+	var flags []string
+	if metrics.FromResult(res) != nil {
+		flags = append(flags, "metrics")
+	}
+	if decision.FromResult(res) != nil {
+		flags = append(flags, "decisions")
+	}
+	if len(flags) == 0 {
+		return "-"
+	}
+	return strings.Join(flags, "+")
 }
 
 // age renders how long ago t was, compactly.

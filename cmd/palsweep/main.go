@@ -59,6 +59,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/decision"
 	"repro/internal/experiments"
 	"repro/internal/export"
 	"repro/internal/metrics"
@@ -89,6 +90,7 @@ func main() {
 		list       = flag.Bool("list", false, "list available experiments and groups, then exit")
 		quiet      = flag.Bool("quiet", false, "suppress the progress line")
 		metricsDir = flag.String("metrics", "", "with -scenario: collect telemetry and archive each scenario's payload (JSON) and series (CSV) into this directory for palreport")
+		decisions  = flag.Bool("decisions", false, "with -scenario: record each scenario's decision trace; with -metrics, traces are archived next to the payloads for palexplain")
 		storeDir   = flag.String("store", "", "persistent result-store directory: a disk cache tier shared across processes, so repeat sweeps execute 0 simulations")
 	)
 	flag.Parse()
@@ -120,6 +122,8 @@ func main() {
 		})
 	} else if *metricsDir != "" {
 		fatal(fmt.Errorf("-metrics requires -scenario"))
+	} else if *decisions {
+		fatal(fmt.Errorf("-decisions requires -scenario"))
 	}
 
 	var names []string
@@ -175,7 +179,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runScenarioSweep(ctx, pool, paths, *format, *outDir, *metricsDir, *quiet, start)
+		runScenarioSweep(ctx, pool, paths, *format, *outDir, *metricsDir, *decisions, *quiet, start)
 		return
 	}
 	progressDone := make(chan struct{})
@@ -287,7 +291,7 @@ func expandScenarioArgs(s string) ([]string, error) {
 // summary table with a row per scenario. With metricsDir set, every
 // spec's telemetry block is force-enabled and the collected payloads are
 // archived there for palreport.
-func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, format, outDir, metricsDir string, quiet bool, start time.Time) {
+func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, format, outDir, metricsDir string, decisions, quiet bool, start time.Time) {
 	sweep := runner.NewSweep(pool)
 	var builds []*scenario.Built
 	var specPaths []string
@@ -297,10 +301,15 @@ func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, fo
 			fatal(err)
 		}
 		if metricsDir != "" {
+			spec.Metrics.Enabled = true
+		}
+		if decisions {
+			spec.Decisions.Enabled = true
+		}
+		if metricsDir != "" || decisions {
 			// Re-normalize after the forced enable so the spec
 			// canonicalizes — and cache-keys — exactly like a file that
-			// asked for metrics itself.
-			spec.Metrics.Enabled = true
+			// asked for recording itself.
 			spec.Normalize()
 		}
 		built, err := spec.Build()
@@ -352,6 +361,15 @@ func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, fo
 			seenBase[b.Spec.Name] = true
 			if _, err := export.WriteMetricsDir(metricsDir, base, &p); err != nil {
 				fatal(err)
+			}
+			if tr := decision.FromResult(res); tr != nil {
+				// Specs with a decisions block get their trace archived
+				// next to the payload, ready for palexplain.
+				t := *tr
+				t.Key = b.Key()
+				if _, err := export.WriteDecisionsFile(metricsDir, base, &t); err != nil {
+					fatal(err)
+				}
 			}
 			archived++
 		}

@@ -1,0 +1,31 @@
+package decision
+
+import "repro/internal/sim"
+
+// ArchivedSink is the read-only sim.DecisionSink a trace loaded from an
+// archive rides on. When the artifact store (internal/store) decodes a
+// persisted result, the run's decision trace must surface exactly like
+// a live run's — Result.Decisions non-nil and FromResult returning the
+// trace — so consumers (palexplain, palreport -decisions) cannot tell a
+// warm-started result from a freshly simulated one. An ArchivedSink
+// carries the already-final trace; it must never be attached to a live
+// engine (sim.Config.Decisions wants a fresh Recorder), so its
+// observation hooks are inert.
+type ArchivedSink struct {
+	trace *Trace
+}
+
+// NewArchivedSink wraps an archived trace as a sink.
+func NewArchivedSink(t *Trace) *ArchivedSink {
+	return &ArchivedSink{trace: t}
+}
+
+// ObserveDecision implements sim.DecisionSink as a no-op: an archived
+// trace is final.
+func (s *ArchivedSink) ObserveDecision(sim.DecisionObservation) {}
+
+// FinishRun implements sim.DecisionSink as a no-op.
+func (s *ArchivedSink) FinishRun(*sim.Result) {}
+
+// Trace returns the archived trace (the method FromResult reads).
+func (s *ArchivedSink) Trace() *Trace { return s.trace }

@@ -1,0 +1,304 @@
+// Package decision records scheduling and placement *decisions* — the
+// explainability counterpart of internal/metrics' outcome telemetry. A
+// Recorder attaches to a run via sim.Config.Decisions and turns the
+// engine's span-based decision observations into a compact Trace: one
+// record per decision *change* (a placement, a preemption, a shift in
+// the running set or the waiting count), each covering the stretch of
+// rounds the decision stayed in force. Observations whose decision
+// repeats the previous record's are coalesced into it, which is exactly
+// what makes the trace byte-identical across the engine's four stepping
+// regimes: the fast path's frozen spans merge the same way the naive
+// loop's repeated rounds do.
+package decision
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// The decision facets a recorder can capture. Facet selection bounds
+// what each record stores; it never moves record boundaries, so traces
+// with different facets still agree on the decision timeline.
+const (
+	// FacetOrder stores the scheduler's order over the active set.
+	FacetOrder = "order"
+	// FacetCeilings adds each running job's partition-stability ceiling
+	// to the order entries (requires FacetOrder to be visible).
+	FacetCeilings = "ceilings"
+	// FacetPlacements stores committed allocations with their
+	// locality/variability score decomposition.
+	FacetPlacements = "placements"
+	// FacetPreemptions stores jobs descheduled by priority.
+	FacetPreemptions = "preemptions"
+)
+
+// AllFacets returns every facet name in canonical order.
+func AllFacets() []string {
+	return []string{FacetCeilings, FacetOrder, FacetPlacements, FacetPreemptions}
+}
+
+// ValidFacet reports whether name is a known facet.
+func ValidFacet(name string) bool {
+	for _, f := range AllFacets() {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultMaxRecords bounds a recorder's ring buffer when Config leaves
+// MaxRecords zero. At one record per decision change this comfortably
+// covers the paper-scale workloads; longer runs keep the most recent
+// records and count the rest in Trace.Dropped.
+const DefaultMaxRecords = 4096
+
+// Config configures a Recorder.
+type Config struct {
+	// Label/Policy/Sched become the trace's identity metadata.
+	Label  string
+	Policy string
+	Sched  string
+	// MaxRecords bounds the record ring buffer (0 selects
+	// DefaultMaxRecords). When the bound is hit the oldest records are
+	// dropped and the trace is marked Truncated.
+	MaxRecords int
+	// Facets selects which decision facets to record (nil or empty
+	// records all of them). Names must come from AllFacets.
+	Facets []string
+}
+
+// Recorder implements sim.DecisionSink: it coalesces the engine's
+// decision observations into ring-buffered records and freezes them
+// into a Trace at FinishRun. A Recorder is a pure observer and is valid
+// for exactly one run.
+type Recorder struct {
+	cfg      Config
+	order    bool
+	ceilings bool
+	place    bool
+	preempt  bool
+
+	// Ring buffer of records in chronological order starting at start.
+	recs    []Record
+	start   int
+	count   int
+	dropped int64
+
+	// rounds counts every observed round (coverage accounting).
+	rounds   int64
+	roundSec float64
+	timeBase float64
+	haveBase bool
+
+	// Merge state: the newest record's running-set IDs (sorted) and
+	// waiting count, against which the next observation is tested.
+	lastIDs     []int
+	lastWaiting int
+	haveLast    bool
+
+	idBuf []int // scratch for the incoming observation's sorted IDs
+
+	trace *Trace
+}
+
+// NewRecorder validates the configuration and returns a ready Recorder.
+func NewRecorder(cfg Config) (*Recorder, error) {
+	if cfg.MaxRecords < 0 {
+		return nil, fmt.Errorf("decision: max records %d, want >= 0 (0 selects the default %d)",
+			cfg.MaxRecords, DefaultMaxRecords)
+	}
+	if cfg.MaxRecords == 0 {
+		cfg.MaxRecords = DefaultMaxRecords
+	}
+	r := &Recorder{cfg: cfg}
+	if len(cfg.Facets) == 0 {
+		r.order, r.ceilings, r.place, r.preempt = true, true, true, true
+	} else {
+		for _, f := range cfg.Facets {
+			switch f {
+			case FacetOrder:
+				r.order = true
+			case FacetCeilings:
+				r.ceilings = true
+			case FacetPlacements:
+				r.place = true
+			case FacetPreemptions:
+				r.preempt = true
+			default:
+				return nil, fmt.Errorf("decision: unknown facet %q (have %v)", f, AllFacets())
+			}
+		}
+	}
+	return r, nil
+}
+
+// MustRecorder is NewRecorder for statically-valid configurations.
+func MustRecorder(cfg Config) *Recorder {
+	r, err := NewRecorder(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Rounds returns the number of simulated rounds observed so far (every
+// round of the run must be covered exactly once; the engagement tests
+// compare this against Result.Rounds).
+func (r *Recorder) Rounds() int64 { return r.rounds }
+
+// ObserveDecision implements sim.DecisionSink. An observation whose
+// decision provably repeats the newest record's — no placements, no
+// preemptions, the same running set, the same waiting count — extends
+// that record; anything else opens a new one. The engine guarantees
+// bulk spans repeat the materialized round before them, so this merge
+// rule reconstructs identical records from the naive loop's length-1
+// observations and the fast path's span observations.
+func (r *Recorder) ObserveDecision(o sim.DecisionObservation) {
+	if o.Rounds <= 0 {
+		return
+	}
+	if !r.haveBase {
+		r.timeBase = o.Start
+		r.roundSec = o.RoundSec
+		r.haveBase = true
+	}
+	round0 := r.rounds
+	r.rounds += int64(o.Rounds)
+
+	ids := r.idBuf[:0]
+	for _, j := range o.Order[:o.Prefix] {
+		ids = append(ids, j.Spec.ID)
+	}
+	sort.Ints(ids)
+	r.idBuf = ids
+
+	if len(o.Placements) == 0 && len(o.Preemptions) == 0 &&
+		r.haveLast && r.count > 0 &&
+		o.Waiting == r.lastWaiting && equalInts(ids, r.lastIDs) {
+		r.newest().Rounds += o.Rounds
+		return
+	}
+
+	rec := Record{
+		Round:   round0,
+		Start:   o.Start,
+		Rounds:  o.Rounds,
+		Prefix:  o.Prefix,
+		Waiting: o.Waiting,
+	}
+	if r.order && len(o.Order) > 0 {
+		rec.Order = make([]OrderEntry, len(o.Order))
+		for i, j := range o.Order {
+			e := OrderEntry{
+				Job:      j.Spec.ID,
+				Demand:   j.Spec.Demand,
+				Attained: j.Attained,
+				Running:  i < o.Prefix,
+				Ceiling:  CeilingNone,
+			}
+			if r.ceilings && i < len(o.Ceilings) {
+				e.Ceiling = encodeCeiling(o.Ceilings[i])
+			}
+			rec.Order[i] = e
+		}
+	}
+	if r.place && len(o.Placements) > 0 {
+		rec.Placements = make([]Placement, len(o.Placements))
+		for i, p := range o.Placements {
+			rec.Placements[i] = Placement{
+				Job:      p.Job,
+				GPUs:     p.GPUs,
+				Nodes:    p.Nodes,
+				Racks:    p.Racks,
+				Locality: p.Locality,
+				PMScore:  p.PMScore,
+				Slowdown: p.Slowdown,
+				Started:  p.Started,
+				Resumed:  p.Resumed,
+				Migrated: p.Migrated,
+			}
+		}
+	}
+	if r.preempt && len(o.Preemptions) > 0 {
+		rec.Preemptions = make([]Preemption, len(o.Preemptions))
+		for i, p := range o.Preemptions {
+			rec.Preemptions[i] = Preemption{Job: p.Job, GPUs: p.GPUs}
+		}
+	}
+	r.push(rec)
+	r.lastIDs = append(r.lastIDs[:0], ids...)
+	r.lastWaiting = o.Waiting
+	r.haveLast = true
+}
+
+// newest returns the most recent record in the ring.
+func (r *Recorder) newest() *Record {
+	return &r.recs[(r.start+r.count-1)%len(r.recs)]
+}
+
+// push appends a record, evicting the oldest when the ring is full. The
+// backing storage grows on demand (append) up to MaxRecords, so a short
+// run never pays for the full bound.
+func (r *Recorder) push(rec Record) {
+	if r.count < r.cfg.MaxRecords {
+		r.recs = append(r.recs, rec)
+		r.count++
+		return
+	}
+	r.recs[r.start] = rec
+	r.start = (r.start + 1) % len(r.recs)
+	r.dropped++
+}
+
+// FinishRun implements sim.DecisionSink: it freezes the recorded
+// decisions into the final Trace. Must be called exactly once (the
+// engine does), after which Trace returns the payload.
+func (r *Recorder) FinishRun(res *sim.Result) {
+	if r.trace != nil {
+		panic("decision: FinishRun called twice")
+	}
+	t := &Trace{
+		Name:     r.cfg.Label,
+		Policy:   r.cfg.Policy,
+		Sched:    r.cfg.Sched,
+		RoundSec: r.roundSec,
+		TimeBase: r.timeBase,
+		Dropped:  r.dropped,
+		Rounds:   r.rounds,
+	}
+	if len(r.cfg.Facets) > 0 {
+		t.Facets = append([]string(nil), r.cfg.Facets...)
+	}
+	if r.count > 0 {
+		t.Records = make([]Record, 0, r.count)
+		for i := 0; i < r.count; i++ {
+			t.Records = append(t.Records, r.recs[(r.start+i)%len(r.recs)])
+		}
+	}
+	t.Truncated = r.dropped > 0
+	if res != nil {
+		t.RunTruncated = res.Truncated
+		t.Unfinished = res.Unfinished
+	}
+	r.trace = t
+}
+
+// Trace returns the finished trace (nil before FinishRun). This is the
+// accessor FromResult duck-types.
+func (r *Recorder) Trace() *Trace { return r.trace }
+
+// equalInts reports element-wise equality.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/decision"
 	"repro/internal/metrics"
 	"repro/internal/place"
 	"repro/internal/rng"
@@ -98,7 +99,13 @@ type RunSpec struct {
 	// retrievable with metrics.FromResult. Collection is
 	// fast-forward-safe, unlike the Observer path.
 	RecordMetrics bool
-	RoundSec      float64
+	// RecordDecisions attaches a default-configured decision.Recorder
+	// (every facet, default ring size). The trace rides on
+	// Result.Decisions — including through the result cache — and is
+	// retrievable with decision.FromResult. Recording is
+	// fast-forward-safe, like RecordMetrics.
+	RecordDecisions bool
+	RoundSec        float64
 
 	// MigrationPenaltySec overrides the default checkpoint/restore cost
 	// charged when a running job's allocation changes; negative disables
@@ -203,6 +210,17 @@ func Run(spec RunSpec) (*sim.Result, error) {
 			Label:       spec.label(),
 			Policy:      spec.Policy.RegistryName(),
 			Sched:       schedName,
+		})
+	}
+	if spec.RecordDecisions {
+		schedName := ""
+		if spec.Sched != nil {
+			schedName = spec.Sched.Name()
+		}
+		cfg.Decisions = decision.MustRecorder(decision.Config{
+			Label:  spec.label(),
+			Policy: spec.Policy.RegistryName(),
+			Sched:  schedName,
 		})
 	}
 	return sim.Run(cfg)

@@ -13,7 +13,7 @@ import (
 // *deliberately* changed the encoding, a generator, or a seed constant:
 // bump the version tag in RunSpec.Key and update the constant below in
 // the same commit.
-const goldenRunSpecKey = "37822fd00dcea9d2ab3ffdcd45b284483767a788a534d817451021e9fd5f88d2"
+const goldenRunSpecKey = "009fbdacd53d0a9ef7452f6b4cd1fbb4ebabf4f22a868b3c1f57cdcc03e11271"
 
 func TestGoldenRunSpecKey(t *testing.T) {
 	spec := RunSpec{
@@ -31,10 +31,15 @@ func TestGoldenRunSpecKey(t *testing.T) {
 			got, goldenRunSpecKey)
 	}
 
-	// The golden value must also be sensitive: flipping the new
-	// RecordMetrics flag has to move the key.
+	// The golden value must also be sensitive: flipping the recording
+	// flags has to move the key.
 	spec.RecordMetrics = true
 	if spec.Key() == goldenRunSpecKey {
 		t.Error("RecordMetrics does not feed the cache key (stale-cache hazard)")
+	}
+	spec.RecordMetrics = false
+	spec.RecordDecisions = true
+	if spec.Key() == goldenRunSpecKey {
+		t.Error("RecordDecisions does not feed the cache key (stale-cache hazard)")
 	}
 }

@@ -69,9 +69,10 @@ func hashTrace(h *runner.Hash, t *trace.Trace) {
 // whenever the encoding changes).
 func (s RunSpec) Key() string {
 	h := runner.NewHash()
-	// v2: RecordMetrics joined the encoding (a metrics-carrying result
-	// must never alias a bare one in the cache).
-	h.String("runspec/v2")
+	// v3: RecordDecisions joined the encoding (a trace-carrying result
+	// must never alias a bare one in the cache); v2 added RecordMetrics
+	// for the same reason.
+	h.String("runspec/v3")
 
 	hashTrace(h, s.Trace)
 	h.Int(s.Topo.NumNodes)
@@ -109,6 +110,7 @@ func (s RunSpec) Key() string {
 	h.Bool(s.RecordUtil)
 	h.Bool(s.RecordEvents)
 	h.Bool(s.RecordMetrics)
+	h.Bool(s.RecordDecisions)
 	h.Float64(s.RoundSec)
 	h.Float64(s.MigrationPenaltySec)
 	return h.Sum()

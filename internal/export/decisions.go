@@ -1,0 +1,34 @@
+package export
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/decision"
+)
+
+// DecisionsExt is the filename suffix of archived decision traces;
+// palexplain and palreport discover traces in a directory by it.
+const DecisionsExt = ".decisions.json"
+
+// WriteDecisionsFile archives one run's decision trace into dir as
+// <base>.decisions.json (the format decision.Load reads back). It
+// creates dir as needed and returns the trace path. This is the writer
+// behind the decision half of `palsim -metrics` / `palsweep -metrics`
+// archiving.
+func WriteDecisionsFile(dir, base string, t *decision.Trace) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("export: %w", err)
+	}
+	path := filepath.Join(dir, base+DecisionsExt)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("export: %w", err)
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		return "", fmt.Errorf("export: %s: %w", path, err)
+	}
+	return path, f.Close()
+}

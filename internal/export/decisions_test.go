@@ -1,0 +1,161 @@
+package export
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/decision"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Round-trip coverage for the degenerate observability payloads: a
+// metrics payload whose series list is empty or whose series carry nil
+// values, and a decision trace with no records. reflect.DeepEqual
+// distinguishes nil from empty slices, and so does every byte-identity
+// suite downstream, so the codec must preserve the distinction exactly
+// rather than normalizing either way.
+
+// TestResultCodecEmptyAndNilSeries: payloads at the nil/empty boundary
+// round-trip without the codec collapsing one into the other.
+func TestResultCodecEmptyAndNilSeries(t *testing.T) {
+	cases := map[string]*metrics.Payload{
+		"nil-series": {
+			Name: "nil-series", IntervalRounds: 1, RoundSec: 300,
+			Series: nil,
+		},
+		"empty-series": {
+			Name: "empty-series", IntervalRounds: 1, RoundSec: 300,
+			Series: []metrics.SeriesData{},
+		},
+		"series-with-nil-values": {
+			Name: "nil-values", IntervalRounds: 1, RoundSec: 300,
+			Series: []metrics.SeriesData{
+				{Name: metrics.SeriesGPUsInUse, Rounds: nil, Values: nil},
+				{Name: metrics.SeriesQueueDepth, Rounds: []int64{}, Values: []float64{}},
+			},
+		},
+	}
+	for name, payload := range cases {
+		name, payload := name, payload
+		t.Run(name, func(t *testing.T) {
+			res := sampleResult()
+			res.Metrics = metrics.NewArchivedSink(payload)
+			var buf bytes.Buffer
+			if err := EncodeResult(&buf, res); err != nil {
+				t.Fatal(err)
+			}
+			got, err := DecodeResult(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(metrics.FromResult(got), payload) {
+				t.Fatalf("payload did not round-trip exactly:\n in  %+v\n out %+v",
+					payload, metrics.FromResult(got))
+			}
+		})
+	}
+}
+
+// TestResultCodecDecisionTrace: an attached decision trace is embedded
+// and resurfaces through decision.FromResult on the decoded result, with
+// nil-versus-empty preserved on every slice field — including the
+// degenerate all-empty trace of a run that made no decisions.
+func TestResultCodecDecisionTrace(t *testing.T) {
+	cases := map[string]*decision.Trace{
+		"empty-trace": {
+			Name: "empty", RoundSec: 300,
+			Records: []decision.Record{},
+		},
+		"nil-records": {
+			Name: "nil-records", RoundSec: 300,
+			Records: nil,
+		},
+		"full": {
+			Name: "full", Policy: "pal", Sched: "las", Key: "abc123",
+			RoundSec: 300, TimeBase: 600,
+			Facets: []string{decision.FacetOrder, decision.FacetPlacements},
+			Records: []decision.Record{
+				{
+					Round: 0, Start: 600, Rounds: 3,
+					Order: []decision.OrderEntry{
+						{Job: 1, Demand: 2, Attained: 0, Running: true, Ceiling: decision.CeilingUnbounded},
+						{Job: 2, Demand: 4, Attained: 100, Ceiling: decision.CeilingNone},
+					},
+					Prefix: 1, Waiting: 1,
+					Placements: []decision.Placement{
+						{Job: 1, GPUs: 2, Nodes: 1, Racks: 1, Locality: 1, PMScore: 1.02, Slowdown: 1.02, Started: true},
+					},
+					Preemptions: []decision.Preemption{},
+				},
+				{
+					// An idle gap: nil order, nil placements/preemptions.
+					Round: 3, Start: 1500, Rounds: 7,
+				},
+			},
+			Dropped: 2, Truncated: true, Rounds: 10,
+		},
+	}
+	for name, tr := range cases {
+		name, tr := name, tr
+		t.Run(name, func(t *testing.T) {
+			res := sampleResult()
+			res.Decisions = decision.NewArchivedSink(tr)
+			var buf bytes.Buffer
+			if err := EncodeResult(&buf, res); err != nil {
+				t.Fatal(err)
+			}
+			first := buf.Bytes()
+			got, err := DecodeResult(bytes.NewReader(first))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(decision.FromResult(got), tr) {
+				t.Fatalf("trace did not round-trip exactly:\n in  %+v\n out %+v",
+					tr, decision.FromResult(got))
+			}
+			// Re-encoding must be a fixed point here too.
+			var again bytes.Buffer
+			if err := EncodeResult(&again, got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(first, again.Bytes()) {
+				t.Error("codec is not a fixed point with a decision trace attached")
+			}
+		})
+	}
+}
+
+// TestResultCodecNoDecisionsStaysNil: a result without a decision sink
+// must decode with Decisions nil — absence round-trips as absence.
+func TestResultCodecNoDecisionsStaysNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Decisions != nil {
+		t.Fatalf("Decisions = %T, want nil", got.Decisions)
+	}
+}
+
+// TestResultCodecRejectsUnarchivableDecisionSink: a custom decision sink
+// without an extractable trace must fail encoding loudly.
+func TestResultCodecRejectsUnarchivableDecisionSink(t *testing.T) {
+	res := sampleResult()
+	res.Decisions = opaqueDecisionSink{}
+	if err := EncodeResult(&bytes.Buffer{}, res); err == nil ||
+		!strings.Contains(err.Error(), "no extractable trace") {
+		t.Fatalf("err = %v, want unarchivable-sink error", err)
+	}
+}
+
+type opaqueDecisionSink struct{}
+
+func (opaqueDecisionSink) ObserveDecision(sim.DecisionObservation) {}
+func (opaqueDecisionSink) FinishRun(*sim.Result)                   {}

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/cluster"
+	"repro/internal/decision"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -27,7 +28,9 @@ import (
 //     never be mistaken for a complete one after a reload;
 //   - a metrics payload on the result (Result.Metrics) is embedded in
 //     the archive and comes back as a metrics.ArchivedSink, so
-//     metrics.FromResult works identically on live and loaded results;
+//     metrics.FromResult works identically on live and loaded results —
+//     and a decision trace (Result.Decisions) likewise embeds and comes
+//     back as a decision.ArchivedSink;
 //   - the format field names the codec revision; DecodeResult rejects
 //     any other revision loudly instead of guessing.
 //
@@ -40,7 +43,8 @@ import (
 // ResultFormatVersion names the result-codec revision. internal/store
 // namespaces its object tree by this string, so a bump orphans (and
 // eventually GCs) old artifacts instead of misreading them.
-const ResultFormatVersion = "v1"
+// v2 added the embedded decision trace.
+const ResultFormatVersion = "v2"
 
 // resultFormat is the full format tag embedded in every archive.
 const resultFormat = "pal-result/" + ResultFormatVersion
@@ -101,7 +105,8 @@ type resultArchive struct {
 	PlaceTimes []float64       `json:"place_times"`
 	Events     []archivedEvent `json:"events"`
 
-	Metrics *metrics.Payload `json:"metrics"`
+	Metrics   *metrics.Payload `json:"metrics"`
+	Decisions *decision.Trace  `json:"decisions"`
 
 	Truncated  bool `json:"truncated"`
 	Unfinished int  `json:"unfinished"`
@@ -134,8 +139,9 @@ func intsToGPUs(a []int) []cluster.GPUID {
 // EncodeResult writes res as a deterministic, versioned JSON archive.
 // Encoding the same result twice produces identical bytes. A result
 // carrying a metrics sink that does not expose a payload (anything
-// other than a metrics.Collector or metrics.ArchivedSink) cannot be
-// archived faithfully and is an error rather than a silent drop.
+// other than a metrics.Collector or metrics.ArchivedSink) — or a
+// decision sink that does not expose a trace — cannot be archived
+// faithfully and is an error rather than a silent drop.
 func EncodeResult(w io.Writer, res *sim.Result) error {
 	if res == nil {
 		return fmt.Errorf("export: nil result")
@@ -147,6 +153,13 @@ func EncodeResult(w io.Writer, res *sim.Result) error {
 			return fmt.Errorf("export: result carries a metrics sink (%T) with no extractable payload", res.Metrics)
 		}
 	}
+	var decisions *decision.Trace
+	if res.Decisions != nil {
+		decisions = decision.FromResult(res)
+		if decisions == nil {
+			return fmt.Errorf("export: result carries a decision sink (%T) with no extractable trace", res.Decisions)
+		}
+	}
 	arch := resultArchive{
 		Format:                resultFormat,
 		Makespan:              res.Makespan,
@@ -155,6 +168,7 @@ func EncodeResult(w io.Writer, res *sim.Result) error {
 		Rounds:                res.Rounds,
 		PlaceTimes:            res.PlaceTimes,
 		Metrics:               payload,
+		Decisions:             decisions,
 		Truncated:             res.Truncated,
 		Unfinished:            res.Unfinished,
 	}
@@ -300,6 +314,9 @@ func DecodeResult(r io.Reader) (*sim.Result, error) {
 	}
 	if arch.Metrics != nil {
 		res.Metrics = metrics.NewArchivedSink(arch.Metrics)
+	}
+	if arch.Decisions != nil {
+		res.Decisions = decision.NewArchivedSink(arch.Decisions)
 	}
 	return res, nil
 }

@@ -35,8 +35,10 @@ type Payload struct {
 	// sample's wall-clock time is TimeBase + index×RoundSec.
 	TimeBase float64 `json:"time_base"`
 
-	Series []SeriesData `json:"series,omitempty"`
-	Jobs   []JobRecord  `json:"jobs,omitempty"`
+	// No omitempty on the slice fields: the archive codec must keep
+	// nil ("never sampled") distinct from empty ("sampled, no rows").
+	Series []SeriesData `json:"series"`
+	Jobs   []JobRecord  `json:"jobs"`
 
 	// JCTHist and WaitHist bin the measured jobs' completion times and
 	// queueing delays (nil when no job was measured).

@@ -11,6 +11,7 @@ import (
 	// "pal" in the placement registry, and scenario specs must resolve
 	// those names even in binaries that use no other part of core.
 	_ "repro/internal/core"
+	"repro/internal/decision"
 	"repro/internal/metrics"
 	"repro/internal/place"
 	"repro/internal/rng"
@@ -226,6 +227,22 @@ func (b *Built) Config() (sim.Config, error) {
 		}
 		sink = collector
 	}
+	var decSink sim.DecisionSink
+	if s.Decisions.Enabled {
+		// Fresh recorder per Config call, for the same reason as the
+		// collector: recorders hold per-run ring-buffer state.
+		rec, err := decision.NewRecorder(decision.Config{
+			Label:      s.Name,
+			Policy:     s.Policy.Name,
+			Sched:      s.Sched.Name,
+			MaxRecords: s.Decisions.MaxRecords,
+			Facets:     s.Decisions.Record,
+		})
+		if err != nil {
+			return sim.Config{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		decSink = rec
+	}
 	return sim.Config{
 		Topology:            b.Topo,
 		Trace:               b.Trace,
@@ -244,6 +261,7 @@ func (b *Built) Config() (sim.Config, error) {
 		RecordEvents:        s.Engine.RecordEvents,
 		MigrationPenaltySec: migration,
 		Metrics:             sink,
+		Decisions:           decSink,
 	}, nil
 }
 
@@ -313,12 +331,13 @@ func buildAdmission(name string) (sim.Admission, error) {
 // genuinely matches.
 func (b *Built) Key() string {
 	h := runner.NewHash()
-	// v2: the spec grew a metrics block (whose payload rides on cached
-	// results, so a metrics-on run must never alias a metrics-off one).
-	// The canonical JSON hashed below already encodes the new field for
-	// every spec; the version bump marks the encoding change explicitly
-	// per the cache-key invariant.
-	h.String("scenario/v2")
+	// v3: the spec grew a decisions block (whose trace rides on cached
+	// results, so a decisions-on run must never alias a decisions-off
+	// one); v2 added the metrics block for the same reason. The canonical
+	// JSON hashed below already encodes the new field for every spec; the
+	// version bump marks the encoding change explicitly per the cache-key
+	// invariant.
+	h.String("scenario/v3")
 	canon, err := b.Spec.Canonical()
 	if err != nil {
 		// Canonical only fails on a non-serializable spec, which Parse

@@ -13,7 +13,7 @@ import (
 // spec, a generator, or the key encoding: bump the version tag in
 // Built.Key (per the cache-key invariant) and update the constant below
 // in the same commit.
-const goldenSpecKey = "2c6221e08fac50220164dd5dac5fe931bf092698ef6db4e08c292831551e2c19"
+const goldenSpecKey = "9808377eb4bd1faaba3ca4ea9a2760e7d679e3b0b5902bac57cc65b38f45fe6a"
 
 func TestGoldenScenarioKey(t *testing.T) {
 	spec, err := LoadFile("../../examples/scenario/spec.json")
@@ -28,5 +28,17 @@ func TestGoldenScenarioKey(t *testing.T) {
 		t.Errorf("examples/scenario/spec.json key drifted:\n  got  %s\n  want %s\n"+
 			"If this change is intentional, bump the version tag in Built.Key and update goldenSpecKey.",
 			got, goldenSpecKey)
+	}
+
+	// The golden value must also be sensitive: enabling the decisions
+	// block has to move the key (its trace rides on cached results).
+	spec.Decisions.Enabled = true
+	spec.Normalize()
+	b2, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Key() == goldenSpecKey {
+		t.Error("decisions block does not feed the cache key (stale-cache hazard)")
 	}
 }

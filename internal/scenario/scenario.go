@@ -35,6 +35,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/decision"
 	"repro/internal/metrics"
 	"repro/internal/trace"
 )
@@ -57,10 +58,11 @@ type Spec struct {
 	Sched    SchedSpec    `json:"sched"`
 	// Admission selects the admission-control policy by registered name
 	// (default "admit-fits").
-	Admission string       `json:"admission,omitempty"`
-	Locality  LocalitySpec `json:"locality"`
-	Engine    EngineSpec   `json:"engine"`
-	Metrics   MetricsSpec  `json:"metrics"`
+	Admission string        `json:"admission,omitempty"`
+	Locality  LocalitySpec  `json:"locality"`
+	Engine    EngineSpec    `json:"engine"`
+	Metrics   MetricsSpec   `json:"metrics"`
+	Decisions DecisionsSpec `json:"decisions"`
 }
 
 // ClusterSpec describes the simulated cluster's topology.
@@ -190,6 +192,28 @@ type MetricsSpec struct {
 	// HistBins is the bin count of the JCT/wait histograms (default
 	// metrics.DefaultHistBins).
 	HistBins int `json:"hist_bins,omitempty"`
+}
+
+// DecisionsSpec attaches the decision recorder (internal/decision) to
+// the run. Like metrics, recording is fast-forward-safe and purely
+// observational — results with and without it are byte-identical — and
+// the trace rides on the result (and through the runner cache); it is
+// what `palsim/palsweep -metrics` archive next to the telemetry payload
+// and what `palexplain` renders.
+type DecisionsSpec struct {
+	// Enabled switches recording on. When false, every other field must
+	// be zero (a configured-but-disabled block is almost certainly a
+	// mistake, so it is rejected).
+	Enabled bool `json:"enabled,omitempty"`
+	// MaxRecords bounds the trace's ring buffer (default
+	// decision.DefaultMaxRecords); the ring keeps the most recent
+	// decision records and flags the trace Truncated when any drop.
+	MaxRecords int `json:"max_records,omitempty"`
+	// Record selects recorded facets by name (decision.AllFacets lists
+	// the vocabulary; empty means all). Normalization sorts and dedupes
+	// the list, so spec files naming the same set in any order
+	// canonicalize — and cache-key — identically.
+	Record []string `json:"record,omitempty"`
 }
 
 // Parse decodes, normalizes and validates a scenario spec. Unknown
@@ -343,20 +367,31 @@ func (s *Spec) normalize() {
 		if s.Metrics.HistBins == 0 {
 			s.Metrics.HistBins = metrics.DefaultHistBins
 		}
-		if len(s.Metrics.Series) == 0 {
-			s.Metrics.Series = nil
-		} else {
-			sorted := append([]string(nil), s.Metrics.Series...)
-			sort.Strings(sorted)
-			dedup := sorted[:0]
-			for i, name := range sorted {
-				if i == 0 || name != sorted[i-1] {
-					dedup = append(dedup, name)
-				}
-			}
-			s.Metrics.Series = dedup
+		s.Metrics.Series = sortDedup(s.Metrics.Series)
+	}
+	if s.Decisions.Enabled {
+		if s.Decisions.MaxRecords == 0 {
+			s.Decisions.MaxRecords = decision.DefaultMaxRecords
+		}
+		s.Decisions.Record = sortDedup(s.Decisions.Record)
+	}
+}
+
+// sortDedup canonicalizes a name list: sorted, deduplicated, and nil
+// when empty — the form the cache keys and Canonical rely on.
+func sortDedup(names []string) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	dedup := sorted[:0]
+	for i, name := range sorted {
+		if i == 0 || name != sorted[i-1] {
+			dedup = append(dedup, name)
 		}
 	}
+	return dedup
 }
 
 // Validate checks the normalized spec for structural errors that do not
@@ -431,6 +466,14 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("scenario %s: engine measure_last %d, want >= 0 (a job ID; 0 means the whole trace)",
 			s.Name, s.Engine.MeasureLast)
 	}
+	if err := s.validateMetrics(); err != nil {
+		return err
+	}
+	return s.validateDecisions()
+}
+
+// validateMetrics checks the metrics block.
+func (s *Spec) validateMetrics() error {
 	m := s.Metrics
 	if !m.Enabled {
 		if m.IntervalRounds != 0 || m.MaxSamples != 0 || m.HistBins != 0 || len(m.Series) != 0 {
@@ -454,6 +497,29 @@ func (s *Spec) Validate() error {
 		if !metrics.ValidSeries(name) {
 			return fmt.Errorf("scenario %s: unknown metrics series %q (have %v)",
 				s.Name, name, metrics.AllSeries())
+		}
+	}
+	return nil
+}
+
+// validateDecisions checks the decisions block, mirroring the metrics
+// block's conventions (value + expected range in every message).
+func (s *Spec) validateDecisions() error {
+	d := s.Decisions
+	if !d.Enabled {
+		if d.MaxRecords != 0 || len(d.Record) != 0 {
+			return fmt.Errorf("scenario %s: decisions configured but not enabled (set \"enabled\": true)", s.Name)
+		}
+		return nil
+	}
+	if d.MaxRecords < 0 {
+		return fmt.Errorf("scenario %s: decisions max_records %d, want >= 0 (0 selects the default %d)",
+			s.Name, d.MaxRecords, decision.DefaultMaxRecords)
+	}
+	for _, name := range d.Record {
+		if !decision.ValidFacet(name) {
+			return fmt.Errorf("scenario %s: unknown decisions record facet %q (have %v)",
+				s.Name, name, decision.AllFacets())
 		}
 	}
 	return nil

@@ -1,8 +1,11 @@
 package scenario
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/decision"
 )
 
 // Every Validate error must state the offending value AND the expected
@@ -115,6 +118,21 @@ func TestValidateMessagesStateConstraints(t *testing.T) {
 			spec: `{"metrics": {"enabled": true, "series": ["gpu_temperature"]}}`,
 			want: []string{`unknown metrics series "gpu_temperature"`, "have ["},
 		},
+		{
+			name: "decisions configured but disabled",
+			spec: `{"decisions": {"max_records": 128}}`,
+			want: []string{"decisions configured but not enabled", `set "enabled": true`},
+		},
+		{
+			name: "negative decisions max_records",
+			spec: `{"decisions": {"enabled": true, "max_records": -7}}`,
+			want: []string{"max_records -7", "want >= 0", "default"},
+		},
+		{
+			name: "unknown decisions record facet",
+			spec: `{"decisions": {"enabled": true, "record": ["gut_feeling"]}}`,
+			want: []string{`unknown decisions record facet "gut_feeling"`, "have ["},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -128,5 +146,41 @@ func TestValidateMessagesStateConstraints(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestDecisionsNormalize: an enabled decisions block is canonicalized —
+// the default ring size is filled in and the facet list is sorted and
+// deduplicated — so two specs that differ only in facet order or
+// repetition build the same cache key.
+func TestDecisionsNormalize(t *testing.T) {
+	spec, err := Parse([]byte(
+		`{"decisions": {"enabled": true, "record": ["placements", "order", "placements", "ceilings"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := spec.Decisions.MaxRecords, decision.DefaultMaxRecords; got != want {
+		t.Errorf("MaxRecords = %d, want default %d", got, want)
+	}
+	if got, want := spec.Decisions.Record, []string{"ceilings", "order", "placements"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Record = %v, want sorted+deduped %v", got, want)
+	}
+	// Same block written in a different order must canonicalize (and
+	// therefore key) identically.
+	other, err := Parse([]byte(
+		`{"decisions": {"enabled": true, "record": ["ceilings", "placements", "order"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := other.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := ba.Key(), bb.Key(); a != b {
+		t.Errorf("facet order changed the cache key: %s vs %s", a, b)
 	}
 }

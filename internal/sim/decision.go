@@ -1,0 +1,151 @@
+package sim
+
+// Decision tracing: the engine's explainability hook. Where the metrics
+// hook (MetricsSink) records *outcomes* — series, histograms, lifecycle
+// records — the decision hook records *why*: the scheduler's order over
+// the schedulable prefix, each running job's partition-stability
+// ceiling, the locality/variability score decomposition of every
+// committed placement, and preemptions. The contract is the same
+// span-based one as RoundObservation: every simulated round is covered
+// by exactly one observation, in time order, and attaching a sink must
+// leave Result byte-identical (the decision determinism tests pin this).
+
+// PlacementDecision describes one committed allocation: which job got
+// GPUs, how the allocation spans the topology, and the Equation-1 score
+// decomposition the engine charges for it (locality penalty × worst
+// PM score). It is recorded at commit time in the placement phase, so it
+// reflects the allocation actually taken, not a candidate.
+type PlacementDecision struct {
+	// Job is the placed job's ID; GPUs its demand (= allocation size).
+	Job  int
+	GPUs int
+	// Nodes and Racks count the topology units the allocation spans.
+	Nodes int
+	Racks int
+	// Locality is the L factor of Equation 1 (1.0 when node-local),
+	// PMScore the max per-GPU variability score of the allocation, and
+	// Slowdown their product — the multiplier the job will run under.
+	Locality float64
+	PMScore  float64
+	Slowdown float64
+	// Started: first allocation ever. Resumed: re-allocated after a
+	// preemption. Migrated: the running job's GPU set changed.
+	Started  bool
+	Resumed  bool
+	Migrated bool
+}
+
+// PreemptionDecision describes one job descheduled by priority in the
+// placement phase (it fell out of the schedulable prefix).
+type PreemptionDecision struct {
+	Job  int
+	GPUs int
+}
+
+// DecisionObservation describes the scheduling decision in force over a
+// span of one or more consecutive rounds. A materialized engine round is
+// a span of length 1 carrying the full scheduler order, ceilings and any
+// placement/preemption decisions; a fast-forwarded or bulk-advanced
+// stretch (or an idle gap) arrives as one observation whose decision
+// provably repeats the previous one. The engine guarantees every
+// simulated round is covered by exactly one observation, in time order.
+// All slices are engine-owned scratch, valid only during the call.
+type DecisionObservation struct {
+	// Start is the engine clock at the span's first round; successive
+	// rounds follow at RoundSec intervals.
+	Start    float64
+	RoundSec float64
+	// Rounds is the span length (>= 1).
+	Rounds int
+	// Order is the scheduling order over the active set for a
+	// materialized round (running prefix first, then waiters), or the
+	// running partition for a bulk span (whose decision repeats the
+	// previous observation's, so its order content is never the first
+	// word on a span). Nil for an idle gap.
+	Order []*Job
+	// Prefix is the number of leading Order entries holding GPUs (the
+	// schedulable prefix).
+	Prefix int
+	// Waiting counts active jobs without GPUs.
+	Waiting int
+	// Ceilings[i] is Order[i]'s attained-service ceiling (i < Prefix):
+	// the bound below which the running/waiting partition provably
+	// holds, from PartitionStableScheduler. May contain ±Inf. Nil when
+	// no waiters exist, the scheduler does not expose partition
+	// stability, or the span is a bulk/idle one.
+	Ceilings []float64
+	// Placements and Preemptions are the decisions committed in this
+	// round's placement phase (materialized rounds only; always empty
+	// for bulk spans and idle gaps).
+	Placements  []PlacementDecision
+	Preemptions []PreemptionDecision
+}
+
+// DecisionSink receives decision observations from the engine
+// (decision.Recorder is the standard implementation). Implementors must
+// be pure observers — no job mutation, no RNG shared with the
+// simulation — so attaching one leaves Result byte-identical. Unlike
+// Observer, a decision sink does NOT disable fast-forwarding: frozen
+// stretches arrive as single spans.
+type DecisionSink interface {
+	// ObserveDecision is called once per span, in time order.
+	ObserveDecision(o DecisionObservation)
+	// FinishRun is called exactly once, after the engine assembled the
+	// Result (with Result.Decisions already pointing at this sink).
+	FinishRun(res *Result)
+}
+
+// observeDecisionRound emits the decision observation for one
+// materialized round: the scheduler order just used, per-running-job
+// ceilings (when the scheduler can bound partition stability and jobs
+// are waiting), and the placement/preemption decisions collected by
+// place(). Called after the placement phase and before advance, so job
+// state (Attained, allocations) is the state the decision was made
+// against. The per-round decision buffers are consumed and reset here.
+func (e *engine) observeDecisionRound(now float64, ordered []*Job, prefix int) {
+	if e.cfg.Decisions == nil {
+		return
+	}
+	var ceilings []float64
+	if waiting := len(ordered) - prefix; waiting > 0 && prefix > 0 {
+		if ps, ok := e.cfg.Sched.(PartitionStableScheduler); ok {
+			if cap(e.decCeilBuf) < prefix {
+				e.decCeilBuf = make([]float64, prefix)
+			}
+			ceilings = e.decCeilBuf[:prefix]
+			ps.AttainedCeilings(ordered[:prefix], ordered[prefix:], ceilings)
+		}
+	}
+	e.cfg.Decisions.ObserveDecision(DecisionObservation{
+		Start:       now,
+		RoundSec:    e.cfg.RoundSec,
+		Rounds:      1,
+		Order:       ordered,
+		Prefix:      prefix,
+		Waiting:     len(ordered) - prefix,
+		Ceilings:    ceilings,
+		Placements:  e.decPlace,
+		Preemptions: e.decPreempt,
+	})
+	e.decPlace = e.decPlace[:0]
+	e.decPreempt = e.decPreempt[:0]
+}
+
+// observeDecisionSpan emits the decision observation for a frozen span —
+// a bulk-advanced stretch (running is the partition holding GPUs) or an
+// idle gap (running nil). The span's decision repeats the preceding
+// materialized round's by construction, which is what lets a recorder
+// coalesce it into the previous record.
+func (e *engine) observeDecisionSpan(start float64, rounds int, running []*Job, waiting int) {
+	if e.cfg.Decisions == nil || rounds <= 0 {
+		return
+	}
+	e.cfg.Decisions.ObserveDecision(DecisionObservation{
+		Start:    start,
+		RoundSec: e.cfg.RoundSec,
+		Rounds:   rounds,
+		Order:    running,
+		Prefix:   len(running),
+		Waiting:  waiting,
+	})
+}

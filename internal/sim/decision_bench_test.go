@@ -1,0 +1,84 @@
+package sim_test
+
+// Benchmarks backing the claim that decision tracing is fast-forward
+// safe: attaching a decision.Recorder must leave both fast paths — the
+// sparse dead-time skip and the dense incremental core — doing the bulk
+// of the work, not the recorder. Acceptance: the instrumented runs
+// retain >= 3x of their fast-path speedup over the instrumented naive
+// loop. Run with
+//
+//	go test -bench=BenchmarkDecisions -benchtime=1x ./internal/sim
+//
+// BenchmarkDecisionsOverhead reports decisions-on vs decisions-off ms
+// and the instrumented speedups in one invocation (CI archives these
+// numbers as BENCH_decisions.json).
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/decision"
+	"repro/internal/sim"
+)
+
+// withRecorder attaches a fresh default recorder to cfg.
+func withRecorder(b *testing.B, cfg sim.Config) sim.Config {
+	b.Helper()
+	rec, err := decision.NewRecorder(decision.Config{Label: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Decisions = rec
+	return cfg
+}
+
+func runTraced(b *testing.B, mk func(bool) sim.Config, disableFF bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(withRecorder(b, mk(disableFF)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr := decision.FromResult(res); tr == nil || len(tr.Records) == 0 {
+			b.Fatal("no decision trace collected")
+		}
+	}
+}
+
+func BenchmarkDecisionsSparseNaive(b *testing.B)       { runTraced(b, sparseConfig, true) }
+func BenchmarkDecisionsSparseFastForward(b *testing.B) { runTraced(b, sparseConfig, false) }
+func BenchmarkDecisionsDenseNaive(b *testing.B)        { runTraced(b, denseBurstyConfig, true) }
+func BenchmarkDecisionsDenseIncremental(b *testing.B)  { runTraced(b, denseBurstyConfig, false) }
+
+// BenchmarkDecisionsOverhead times the six corners — {decisions on, off}
+// × {fast path, naive} on the sparse and dense workloads — and reports:
+//
+//	sparse-on-ms / sparse-off-ms     fast-forward cost with/without the sink
+//	dense-on-ms / dense-off-ms       incremental-core cost with/without it
+//	sparse-instrumented-speedup      decisions-on fast-forward vs decisions-on naive
+//	dense-instrumented-speedup       decisions-on incremental vs decisions-on naive
+func BenchmarkDecisionsOverhead(b *testing.B) {
+	run := func(cfg sim.Config) time.Duration {
+		t0 := time.Now()
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	denseInputs() // materialize shared inputs outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sparseOn := run(withRecorder(b, sparseConfig(false)))
+		sparseOff := run(sparseConfig(false))
+		sparseOnNaive := run(withRecorder(b, sparseConfig(true)))
+		denseOn := run(withRecorder(b, denseBurstyConfig(false)))
+		denseOff := run(denseBurstyConfig(false))
+		denseOnNaive := run(withRecorder(b, denseBurstyConfig(true)))
+		b.ReportMetric(sparseOn.Seconds()*1000, "sparse-on-ms")
+		b.ReportMetric(sparseOff.Seconds()*1000, "sparse-off-ms")
+		b.ReportMetric(denseOn.Seconds()*1000, "dense-on-ms")
+		b.ReportMetric(denseOff.Seconds()*1000, "dense-off-ms")
+		b.ReportMetric(sparseOnNaive.Seconds()/sparseOn.Seconds(), "sparse-instrumented-speedup")
+		b.ReportMetric(denseOnNaive.Seconds()/denseOn.Seconds(), "dense-instrumented-speedup")
+	}
+}

@@ -227,6 +227,17 @@ type Config struct {
 	// echoed on Result.Metrics so cached results carry their telemetry.
 	Metrics MetricsSink
 
+	// Decisions, when non-nil, receives span-based decision traces —
+	// scheduler order, partition-stability ceilings, placement score
+	// decompositions, preemptions — through the fast-forward-safe
+	// DecisionSink contract (decision.Recorder is the standard
+	// implementation). Like Metrics and unlike Observer, attaching a
+	// sink does NOT disable dead-time skipping: frozen stretches arrive
+	// as single spans that provably repeat the previous decision. The
+	// sink is echoed on Result.Decisions so cached results carry their
+	// traces.
+	Decisions DecisionSink
+
 	// DisableFastForward forces the engine to iterate every round even
 	// when nothing can change (no arrival, no finish, no reallocation).
 	// Fast-forwarding is byte-identical to naive iteration — the
@@ -353,6 +364,12 @@ type Result struct {
 	// it was first computed. Nil when no sink was attached.
 	Metrics MetricsSink
 
+	// Decisions echoes Config.Decisions after the run, so a Result
+	// pulled from the runner's cache still carries the decision trace
+	// recorded when it was first computed. Nil when no sink was
+	// attached.
+	Decisions DecisionSink
+
 	// Truncated reports that the run stopped at Config.MaxRounds with
 	// jobs still incomplete. Aggregate metrics then cover only the jobs
 	// that finished; Unfinished counts the rest. Consumers that archive
@@ -468,6 +485,15 @@ type engine struct {
 	waitBuf []*Job
 	ceilBuf []float64
 	sdsBuf  []float64
+
+	// Decision-trace scratch: the per-round placement/preemption
+	// decisions collected by place() for the decision sink, and a
+	// ceiling workspace separate from ceilBuf (the bulk-advance span may
+	// still be using that one when the next materialized round records
+	// its ceilings).
+	decPlace   []PlacementDecision
+	decPreempt []PreemptionDecision
+	decCeilBuf []float64
 }
 
 // observe hands one span to the metrics sink, with the running set
@@ -565,6 +591,7 @@ func (e *engine) run() (*Result, error) {
 				// The whole gap is one empty span: nothing runs, nothing
 				// waits (the arriving job is admitted next iteration).
 				e.observe(idleStart, rounds-idleFrom, nil, 0)
+				e.observeDecisionSpan(idleStart, rounds-idleFrom, nil, 0)
 				continue
 			}
 			// Nothing active and nothing arriving: only rejected jobs
@@ -593,6 +620,7 @@ func (e *engine) run() (*Result, error) {
 		// Observe before advance: completions inside the round release
 		// allocations, and the observation covers the round as scheduled.
 		e.observe(now, 1, prefix, len(e.active)-len(prefix))
+		e.observeDecisionRound(now, ordered, len(prefix))
 
 		// Advance phase.
 		finished := e.advance(prefix, now)
@@ -616,8 +644,14 @@ func (e *engine) run() (*Result, error) {
 		// repeat the decision above. A finishing round must re-enter the
 		// full loop first when jobs are waiting — freed GPUs can admit a
 		// waiter next round — so bulk advance re-checks eligibility
-		// itself.
-		if finished == 0 || e.allActiveRunning() {
+		// itself. With a decision sink attached, a finishing round
+		// always re-enters the full loop first, so the span following a
+		// completion opens with a materialized round carrying the fresh
+		// scheduler order — the one extra round per completion keeps the
+		// recorded trace byte-identical to the naive loop's, and the
+		// materialized round itself is byte-identical to the first round
+		// the bulk span would have skipped.
+		if finished == 0 || (cfg.Decisions == nil && e.allActiveRunning()) {
 			now, rounds = e.bulkAdvance(now, rounds)
 		}
 	}
@@ -629,10 +663,14 @@ func (e *engine) run() (*Result, error) {
 	if truncated {
 		res.Truncated = true
 	}
-	// Finalize metrics last, so the sink sees the complete result —
-	// including the truncation flag, which it must carry into payloads.
+	// Finalize the sinks last, so they see the complete result —
+	// including the truncation flag, which they must carry into their
+	// payloads.
 	if cfg.Metrics != nil {
 		cfg.Metrics.FinishRun(res)
+	}
+	if cfg.Decisions != nil {
+		cfg.Decisions.FinishRun(res)
 	}
 	return res, nil
 }
@@ -825,6 +863,7 @@ func (e *engine) bulkAdvance(now float64, rounds int) (float64, int) {
 		noteBulkSpan(skipped, len(waiting) > 0)
 	}
 	e.observe(spanStart, rounds-spanFrom, running, len(waiting))
+	e.observeDecisionSpan(spanStart, rounds-spanFrom, running, len(waiting))
 	return now, rounds
 }
 
@@ -884,6 +923,10 @@ func (e *engine) place(prefix []*Job, now float64) error {
 			j.Alloc = nil
 			j.Preemptions++
 			e.recordEvent(now, j.Spec.ID, EventPreempt, j.Spec.Demand)
+			if e.cfg.Decisions != nil {
+				e.decPreempt = append(e.decPreempt,
+					PreemptionDecision{Job: j.Spec.ID, GPUs: j.Spec.Demand})
+			}
 		}
 	}
 
@@ -938,19 +981,37 @@ func (e *engine) place(prefix []*Job, now float64) error {
 		e.cluster.Allocate(j.Spec.ID, alloc)
 		wasRunning := j.wasRunning
 		j.wasRunning = false
-		if wasRunning && !sameGPUs(j.PrevAlloc, alloc) {
+		migrated := wasRunning && !sameGPUs(j.PrevAlloc, alloc)
+		if migrated {
 			j.Migrations++
 			j.migrated = true
 			e.recordEvent(now, j.Spec.ID, EventMigrate, j.Spec.Demand)
 		}
 		j.Alloc = alloc
+		started := false
 		switch {
 		case !j.Started:
 			j.Started = true
 			j.FirstRun = now
+			started = true
 			e.recordEvent(now, j.Spec.ID, EventStart, j.Spec.Demand)
 		case !wasRunning:
 			e.recordEvent(now, j.Spec.ID, EventResume, j.Spec.Demand)
+		}
+		if e.cfg.Decisions != nil {
+			l, maxV := e.slowdownParts(j)
+			e.decPlace = append(e.decPlace, PlacementDecision{
+				Job:      j.Spec.ID,
+				GPUs:     j.Spec.Demand,
+				Nodes:    e.cluster.NodesSpanned(alloc),
+				Racks:    e.cluster.RacksSpanned(alloc),
+				Locality: l,
+				PMScore:  maxV,
+				Slowdown: l * maxV,
+				Started:  started,
+				Resumed:  !started && !wasRunning,
+				Migrated: migrated,
+			})
 		}
 	}
 	return nil
@@ -986,7 +1047,17 @@ func sameGPUs(a, b []cluster.GPUID) bool {
 // nodes inside one rack pay Lrack and only rack-spanning allocations pay
 // the full Lacross.
 func (e *engine) slowdown(j *Job) float64 {
-	l := 1.0
+	l, maxV := e.slowdownParts(j)
+	return l * maxV
+}
+
+// slowdownParts returns Equation 1's two factors separately — the
+// locality penalty L(alloc) and the max per-GPU PM score — so the
+// decision trace can record the score decomposition of a placement
+// without changing the arithmetic slowdown performs (l × maxV, the same
+// product in the same order).
+func (e *engine) slowdownParts(j *Job) (l, maxV float64) {
+	l = 1.0
 	if e.cluster.NodesSpanned(j.Alloc) > 1 {
 		l = e.cfg.Lacross
 		if e.cfg.ModelLacross != nil {
@@ -998,13 +1069,12 @@ func (e *engine) slowdown(j *Job) float64 {
 			l = e.cfg.Lrack
 		}
 	}
-	maxV := 0.0
 	for _, g := range j.Alloc {
 		if v := e.cfg.TrueProfile.Score(j.Spec.Class, int(g)); v > maxV {
 			maxV = v
 		}
 	}
-	return l * maxV
+	return l, maxV
 }
 
 // advance progresses every placed job by one round, completing jobs whose
@@ -1068,6 +1138,7 @@ func (e *engine) result(start, end float64, rounds int) (*Result, error) {
 		PlaceTimes: e.placeTimes,
 		Events:     e.events,
 		Metrics:    e.cfg.Metrics,
+		Decisions:  e.cfg.Decisions,
 	}
 	first, last := e.cfg.MeasureFirst, e.cfg.MeasureLast
 	if last <= 0 {

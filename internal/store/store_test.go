@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/decision"
 	"repro/internal/export"
 	"repro/internal/metrics"
 	"repro/internal/runner"
@@ -57,7 +58,8 @@ func key64(i int) string {
 
 // TestStoreRoundTripByteIdentical: a result computed live and the same
 // result loaded back from the store must be exactly equal — every job
-// field, aggregate, series and the full metrics payload — and
+// field, aggregate, series, the full metrics payload and the full
+// decision trace — and
 // re-encoding the loaded result must reproduce the stored bytes
 // bit-for-bit. Pinned on a Sia trace and a synthetic-bursty one (the
 // two arrival regimes with the most engine traffic), with utilization,
@@ -68,12 +70,12 @@ func TestStoreRoundTripByteIdentical(t *testing.T) {
 		"sia": `{"name": "sia-rt", "workload": {"source": "sia-philly", "workload": 5},
 			"policy": {"name": "pal"}, "sched": {"name": "las"},
 			"engine": {"record_utilization": true, "record_events": true},
-			"metrics": {"enabled": true}}`,
+			"metrics": {"enabled": true}, "decisions": {"enabled": true}}`,
 		"bursty": `{"name": "bursty-rt", "cluster": {"nodes": 4},
 			"workload": {"source": "synthetic", "arrivals": "bursty", "num_jobs": 80, "jobs_per_hour": 40},
 			"policy": {"name": "random-sticky"}, "sched": {"name": "srtf"},
 			"engine": {"record_utilization": true, "record_events": true},
-			"metrics": {"enabled": true}}`,
+			"metrics": {"enabled": true}, "decisions": {"enabled": true}}`,
 	}
 	for name, src := range cases {
 		name, src := name, src
@@ -102,10 +104,12 @@ func TestStoreRoundTripByteIdentical(t *testing.T) {
 				t.Fatal("stored object not found")
 			}
 
-			// Exact equality of everything but the sink pointer (live runs
-			// carry a *metrics.Collector, loaded ones an ArchivedSink)...
+			// Exact equality of everything but the sink pointers (live runs
+			// carry a *metrics.Collector and a *decision.Recorder, loaded
+			// ones ArchivedSinks)...
 			liveCopy, loadedCopy := *live, *loaded
 			liveCopy.Metrics, loadedCopy.Metrics = nil, nil
+			liveCopy.Decisions, loadedCopy.Decisions = nil, nil
 			if !reflect.DeepEqual(&liveCopy, &loadedCopy) {
 				for i := range liveCopy.Jobs {
 					if !reflect.DeepEqual(liveCopy.Jobs[i], loadedCopy.Jobs[i]) {
@@ -123,6 +127,18 @@ func TestStoreRoundTripByteIdentical(t *testing.T) {
 			}
 			if !reflect.DeepEqual(pl, pd) {
 				t.Fatal("metrics payloads diverged across the round trip")
+			}
+			// ...and of the decision traces both sinks expose, record for
+			// record.
+			tl, td := decision.FromResult(live), decision.FromResult(loaded)
+			if tl == nil || td == nil {
+				t.Fatalf("decision trace missing: live=%v loaded=%v", tl != nil, td != nil)
+			}
+			if len(tl.Records) == 0 {
+				t.Fatal("live decision trace is empty; round trip is vacuous")
+			}
+			if !reflect.DeepEqual(tl, td) {
+				t.Fatal("decision traces diverged across the round trip")
 			}
 
 			// Byte identity: the loaded result re-encodes to exactly the
