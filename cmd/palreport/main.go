@@ -23,11 +23,21 @@
 //	palreport -in out/ -baseline sia-tiresias -format csv -out tables/
 //	palreport -in results/.palstore            # telemetry embedded in a result store
 //	palreport -in out/ -decisions              # + decision-trace summary table
+//	palreport -in shared/.palstore -grid grid.json   # partial sweep: count missing cells
 //
 // A token that is a result-store directory (the layout palsweep -store
 // writes) contributes the telemetry payload embedded in every stored
 // result, so archived sweeps are tabulated straight from the store with
 // no separate -metrics pass.
+//
+// -grid names scenario spec files whose deterministic grid expansion
+// defines the cells a sweep was *supposed* to produce. palreport then
+// prepends a grid_coverage table — one row per expected cell, present
+// or MISSING — and keeps tabulating whatever payloads exist instead of
+// erroring, so a store populated by only some shards of a sharded sweep
+// (palsweep -shard i/n) reports its gaps explicitly rather than
+// silently dropping them. Presence is judged against the stored result
+// keys and loaded payload keys.
 //
 // -decisions appends a fourth table, decisions_summary: one row per
 // archived decision trace (*.decisions.json next to the payloads, or
@@ -49,6 +59,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/export"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/store"
 )
@@ -63,6 +74,7 @@ func main() {
 		format    = flag.String("format", "text", "output format: text, csv, md, json")
 		outDir    = flag.String("out", "", "write one file per table into this directory instead of stdout")
 		decisions = flag.Bool("decisions", false, "also tabulate archived decision traces (*.decisions.json or store-embedded) — one summary row per run; render full timelines with palexplain")
+		gridFlag  = flag.String("grid", "", "scenario spec files (comma-separated, directories or globs) whose grid expansion defines the expected cells; prepends a grid_coverage table and tolerates partially-swept archives")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -75,6 +87,28 @@ func main() {
 	}
 
 	payloads := loadPayloads(*in)
+	if *gridFlag != "" {
+		cells, err := expandGridCells(*gridFlag)
+		if err != nil {
+			fatal(err)
+		}
+		have := storeKeys(*in)
+		for _, p := range payloads {
+			if p.Key != "" {
+				have[p.Key] = true
+			}
+		}
+		if err := emit(gridCoverageTable(cells, have), *format, *outDir); err != nil {
+			fatal(err)
+		}
+		if len(payloads) == 0 {
+			// A partial (or not-yet-started) sweep is exactly what -grid
+			// exists to report; the coverage table above already counted
+			// every missing cell, so an empty archive is not an error.
+			fmt.Fprintf(os.Stderr, "palreport: no payloads in %q yet; coverage table lists every expected cell as missing or store-only\n", *in)
+			return
+		}
+	}
 	if len(payloads) == 0 {
 		fatal(fmt.Errorf("no payloads found in %q", *in))
 	}
@@ -316,6 +350,99 @@ func loadStorePayloads(dir string) []*metrics.Payload {
 		fmt.Fprintf(os.Stderr, "palreport: store %s: skipped %d results without telemetry (re-run them with metrics enabled to tabulate)\n", dir, skipped)
 	}
 	return payloads
+}
+
+// gridCell is one expected cell of a -grid expansion: the cell's name
+// and its content-hash cache key, the identity archived results are
+// matched against.
+type gridCell struct {
+	name string
+	key  string
+}
+
+// expandGridCells resolves the -grid argument (files, directories or
+// globs of scenario specs) to the expected cells, in each spec's
+// deterministic expansion order. Cells are built — not just parsed — so
+// their keys are the exact content hashes a sweep would store under.
+func expandGridCells(arg string) ([]gridCell, error) {
+	paths, err := export.ExpandFileArgs(arg, ".json")
+	if err != nil {
+		return nil, fmt.Errorf("-grid: %w", err)
+	}
+	var cells []gridCell
+	for _, path := range paths {
+		spec, err := scenario.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		expanded, err := spec.ExpandGrid()
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range expanded {
+			b, err := c.Build()
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, gridCell{name: c.Name, key: b.Key()})
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("-grid: no scenario specs in %q", arg)
+	}
+	return cells, nil
+}
+
+// storeKeys collects the result keys of every store directory named in
+// the -in argument. Results archived without telemetry carry no payload
+// to tabulate but still prove their cell ran, so coverage is judged
+// against store keys as well as loaded payloads.
+func storeKeys(arg string) map[string]bool {
+	keys := make(map[string]bool)
+	for _, tok := range strings.Split(arg, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" || !store.IsStoreRoot(tok) {
+			continue
+		}
+		st, err := store.Open(tok)
+		if err != nil {
+			fatal(err)
+		}
+		ks, err := st.Keys()
+		if err != nil {
+			fatal(err)
+		}
+		for _, k := range ks {
+			keys[k] = true
+		}
+	}
+	return keys
+}
+
+// gridCoverageTable renders one row per expected grid cell, in
+// expansion order, marking each present or MISSING. Missing cells are
+// counted in the notes, never dropped — the reporting mirror of the
+// engine's explicit-truncation invariant.
+func gridCoverageTable(cells []gridCell, have map[string]bool) *experiments.Table {
+	t := &experiments.Table{
+		Name:   "grid_coverage",
+		Title:  "grid cell coverage (expected cells vs archived results)",
+		Header: []string{"cell", "key", "status"},
+	}
+	missing := 0
+	for _, c := range cells {
+		status := "present"
+		if !have[c.key] {
+			status = "MISSING"
+			missing++
+		}
+		t.AddRowf(c.name, c.key[:16], status)
+	}
+	t.Note("%d of %d grid cells present, %d missing", len(cells)-missing, len(cells), missing)
+	if missing > 0 {
+		t.Note("run the remaining shards into the shared store (palsweep -shard i/n -store ...) and re-report")
+	}
+	return t
 }
 
 // meanUtil averages the archived utilization series; falls back to the

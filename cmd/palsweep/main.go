@@ -23,16 +23,29 @@
 //	palsweep -scenario specs/ -workers 8              # every *.json in the directory
 //	palsweep -scenario 'specs/pal-*.json' -metrics out/
 //	palsweep -scenario specs/ -store results/.palstore   # warm-start later sweeps
+//	palsweep -scenario grid.json -shard 0/2 -store shared/.palstore   # one of two shard processes
 //
 // With -scenario, each named declarative spec (internal/scenario
 // documents the format) becomes one simulation fanned out over the same
 // worker pool, cached under its canonical content hash — so re-sweeping
 // an unchanged spec, or naming the same scenario twice, simulates once
-// — and summarized as one row of a single "scenarios" table. Scenario
-// arguments may be files, directories (every *.json inside) or globs; an
-// argument matching nothing is an error naming what failed. Adding
-// -metrics out/ force-enables each spec's telemetry block and archives
-// the collected payloads there, ready for cmd/palreport to aggregate.
+// — and summarized as one row of a single "scenarios" table. A spec
+// carrying a grid block expands into one cell per cross-product
+// combination first, in the deterministic order internal/scenario
+// documents. Scenario arguments may be files, directories (every *.json
+// inside) or globs; an argument matching nothing is an error naming
+// what failed. Adding -metrics out/ force-enables each spec's telemetry
+// block and archives the collected payloads there, ready for
+// cmd/palreport to aggregate.
+//
+// With -shard i/n, this process runs only the expanded cells whose
+// content hash lands in shard i of n (runner.ShardOf over the cell's
+// cache key — a pure function of cell content, never of enumeration
+// order, so the n processes of one grid agree on the partition without
+// coordination). Shards meet in the shared -store: once every shard has
+// run, any process — sharded or not — sweeps the full grid with
+// "0 simulated", and palreport -grid tabulates whatever cells are
+// present, counting the missing ones.
 //
 // With -store, the in-memory result cache is backed by the persistent
 // content-addressed store (internal/store): results computed by any
@@ -55,6 +68,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -92,6 +106,7 @@ func main() {
 		metricsDir = flag.String("metrics", "", "with -scenario: collect telemetry and archive each scenario's payload (JSON) and series (CSV) into this directory for palreport")
 		decisions  = flag.Bool("decisions", false, "with -scenario: record each scenario's decision trace; with -metrics, traces are archived next to the payloads for palexplain")
 		storeDir   = flag.String("store", "", "persistent result-store directory: a disk cache tier shared across processes, so repeat sweeps execute 0 simulations")
+		shardFlag  = flag.String("shard", "", "with -scenario and -store: run only shard i/n of the expanded cells (e.g. 0/4); the n processes partition the grid by content hash and meet in the shared store")
 	)
 	flag.Parse()
 
@@ -124,6 +139,18 @@ func main() {
 		fatal(fmt.Errorf("-metrics requires -scenario"))
 	} else if *decisions {
 		fatal(fmt.Errorf("-decisions requires -scenario"))
+	}
+	shard, err := parseShard(*shardFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if shard.enabled() {
+		if *scenFlag == "" {
+			fatal(fmt.Errorf("-shard requires -scenario (shards split an expanded scenario grid)"))
+		}
+		if *storeDir == "" {
+			fatal(fmt.Errorf("-shard requires -store (shard processes meet in the shared result store)"))
+		}
 	}
 
 	var names []string
@@ -179,7 +206,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runScenarioSweep(ctx, pool, paths, *format, *outDir, *metricsDir, *decisions, *quiet, start)
+		runScenarioSweep(ctx, pool, paths, *format, *outDir, *metricsDir, *decisions, *quiet, shard, start)
 		return
 	}
 	progressDone := make(chan struct{})
@@ -285,55 +312,104 @@ func expandScenarioArgs(s string) ([]string, error) {
 	return paths, nil
 }
 
-// runScenarioSweep fans declarative scenario specs out over the worker
-// pool — each keyed by its canonical content hash, so duplicate or
-// previously-run configurations hit the result cache — and renders one
-// summary table with a row per scenario. With metricsDir set, every
-// spec's telemetry block is force-enabled and the collected payloads are
-// archived there for palreport.
-func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, format, outDir, metricsDir string, decisions, quiet bool, start time.Time) {
-	sweep := runner.NewSweep(pool)
-	var builds []*scenario.Built
-	var specPaths []string
+// scenarioCell is one expanded grid cell queued for the sweep: the
+// built scenario plus the spec file it came from.
+type scenarioCell struct {
+	built *scenario.Built
+	path  string
+}
+
+// shardSpec is a parsed -shard value. count 0 means unsharded.
+type shardSpec struct{ index, count int }
+
+func (sh shardSpec) enabled() bool { return sh.count > 0 }
+
+// parseShard parses an "i/n" shard selector. Every error states the
+// offending value and the expected range.
+func parseShard(s string) (shardSpec, error) {
+	if s == "" {
+		return shardSpec{}, nil
+	}
+	is, ns, ok := strings.Cut(s, "/")
+	if !ok {
+		return shardSpec{}, fmt.Errorf("-shard %q, want the form i/n (e.g. 0/4)", s)
+	}
+	i, err := strconv.Atoi(is)
+	if err != nil {
+		return shardSpec{}, fmt.Errorf("-shard %q: index %q, want an integer", s, is)
+	}
+	n, err := strconv.Atoi(ns)
+	if err != nil {
+		return shardSpec{}, fmt.Errorf("-shard %q: count %q, want an integer", s, ns)
+	}
+	if n <= 0 {
+		return shardSpec{}, fmt.Errorf("-shard %q: count %d, want >= 1", s, n)
+	}
+	if i < 0 || i >= n {
+		return shardSpec{}, fmt.Errorf("-shard %q: index %d, want 0 <= index < %d", s, i, n)
+	}
+	return shardSpec{index: i, count: n}, nil
+}
+
+// loadScenarioCells loads every spec file, force-enables the recording
+// blocks the flags ask for, expands grid specs into their cells, and
+// builds each cell. The forced enables happen before expansion, so grid
+// cells normalize the enabled blocks — and cache-key — exactly like
+// single-cell specs that asked for recording themselves.
+func loadScenarioCells(paths []string, forceMetrics, forceDecisions bool) ([]scenarioCell, error) {
+	var cells []scenarioCell
 	for _, path := range paths {
 		spec, err := scenario.LoadFile(path)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
-		if metricsDir != "" {
+		if forceMetrics {
 			spec.Metrics.Enabled = true
 		}
-		if decisions {
+		if forceDecisions {
 			spec.Decisions.Enabled = true
 		}
-		if metricsDir != "" || decisions {
-			// Re-normalize after the forced enable so the spec
-			// canonicalizes — and cache-keys — exactly like a file that
-			// asked for recording itself.
+		if forceMetrics || forceDecisions {
 			spec.Normalize()
 		}
-		built, err := spec.Build()
+		expanded, err := spec.ExpandGrid()
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
-		builds = append(builds, built)
-		specPaths = append(specPaths, path)
-		run := built // capture per iteration for the task closure
-		sweep.Add(built.Key(), fmt.Sprintf("scenario %s (%s)", spec.Name, path),
-			func() (*sim.Result, error) { return run.Run() })
-	}
-	if len(builds) == 0 {
-		fatal(fmt.Errorf("no scenario specs given"))
-	}
-	results, err := sweep.Run(ctx)
-	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "palsweep: cancelled")
-			os.Exit(1)
+		for _, cell := range expanded {
+			built, err := cell.Build()
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, scenarioCell{built: built, path: path})
 		}
-		fatal(err)
 	}
+	return cells, nil
+}
 
+// filterShard keeps the cells whose content hash lands in this shard.
+// Assignment is runner.ShardOf over the cell's cache key — a pure
+// function of cell content, never of enumeration order — so the n shard
+// processes of one grid agree on the partition without coordination and
+// re-running any shard selects the same cells.
+func filterShard(cells []scenarioCell, sh shardSpec) []scenarioCell {
+	if !sh.enabled() {
+		return cells
+	}
+	kept := make([]scenarioCell, 0, len(cells))
+	for _, c := range cells {
+		if runner.ShardOf(c.built.Key(), sh.count) == sh.index {
+			kept = append(kept, c)
+		}
+	}
+	return kept
+}
+
+// scenarioTable assembles the one-row-per-cell summary table in cell
+// order and, with metricsDir set, archives each cell's telemetry
+// payload (and decision trace, when recorded) there for palreport and
+// palexplain. Returns the table and the number of archived payloads.
+func scenarioTable(cells []scenarioCell, results []*sim.Result, metricsDir string) (*experiments.Table, int, error) {
 	table := &experiments.Table{
 		Name:  "scenarios",
 		Title: "declarative scenario sweep",
@@ -342,12 +418,13 @@ func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, fo
 	}
 	seenBase := make(map[string]bool)
 	archived := 0
-	for i, b := range builds {
+	for i, c := range cells {
+		b := c.built
 		res := results[i]
 		if metricsDir != "" {
 			payload := metrics.FromResult(res)
 			if payload == nil {
-				fatal(fmt.Errorf("scenario %s: no metrics payload on result", b.Spec.Name))
+				return nil, 0, fmt.Errorf("scenario %s: no metrics payload on result", b.Spec.Name)
 			}
 			// Stamp the key on a copy: the payload may be shared through
 			// the result cache. Scenario names may repeat across specs, so
@@ -360,7 +437,7 @@ func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, fo
 			}
 			seenBase[b.Spec.Name] = true
 			if _, err := export.WriteMetricsDir(metricsDir, base, &p); err != nil {
-				fatal(err)
+				return nil, 0, err
 			}
 			if tr := decision.FromResult(res); tr != nil {
 				// Specs with a decisions block get their trace archived
@@ -368,7 +445,7 @@ func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, fo
 				t := *tr
 				t.Key = b.Key()
 				if _, err := export.WriteDecisionsFile(metricsDir, base, &t); err != nil {
-					fatal(err)
+					return nil, 0, err
 				}
 			}
 			archived++
@@ -382,14 +459,57 @@ func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, fo
 			b.Spec.Policy.Name, b.Spec.Sched.Name,
 			stats.Mean(jcts), stats.Percentile(jcts, 50), stats.Percentile(jcts, 99),
 			stats.Mean(res.Waits()), res.Makespan/3600, 100*res.Utilization, res.Rounds, truncated)
-		table.Note("%s: key %s (%s)", b.Spec.Name, b.Key()[:16], specPaths[i])
+		table.Note("%s: key %s (%s)", b.Spec.Name, b.Key()[:16], c.path)
+	}
+	return table, archived, nil
+}
+
+// runScenarioSweep fans declarative scenario specs — grid specs
+// expanded into their cells first — out over the worker pool, each
+// keyed by its canonical content hash so duplicate or previously-run
+// configurations hit the result cache, and renders one summary table
+// with a row per cell. With metricsDir set, every spec's telemetry
+// block is force-enabled and the collected payloads are archived there
+// for palreport. With a shard selector, only this shard's slice of the
+// expanded cells runs.
+func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, format, outDir, metricsDir string, decisions, quiet bool, shard shardSpec, start time.Time) {
+	cells, err := loadScenarioCells(paths, metricsDir != "", decisions)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cells) == 0 {
+		fatal(fmt.Errorf("no scenario specs given"))
+	}
+	total := len(cells)
+	cells = filterShard(cells, shard)
+	sweep := runner.NewSweep(pool)
+	for _, c := range cells {
+		run := c.built // capture per iteration for the task closure
+		sweep.Add(run.Key(), fmt.Sprintf("scenario %s (%s)", run.Spec.Name, c.path),
+			func() (*sim.Result, error) { return run.Run() })
+	}
+	results, err := sweep.Run(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "palsweep: cancelled")
+			os.Exit(1)
+		}
+		fatal(err)
+	}
+	table, archived, err := scenarioTable(cells, results, metricsDir)
+	if err != nil {
+		fatal(err)
 	}
 	if err := emit(table, format, outDir); err != nil {
 		fatal(err)
 	}
 	if !quiet {
+		if shard.enabled() {
+			fmt.Fprintf(os.Stderr, "palsweep: shard %d/%d covers %d of %d cells\n",
+				shard.index, shard.count, len(cells), total)
+		}
 		fmt.Fprintf(os.Stderr, "palsweep: %d scenarios, %s, %d workers, %.1fs total\n",
-			len(builds), cacheSummary(pool), pool.Workers(), time.Since(start).Seconds())
+			len(cells), cacheSummary(pool), pool.Workers(), time.Since(start).Seconds())
 		if archived > 0 {
 			fmt.Fprintf(os.Stderr, "palsweep: archived %d metric payloads to %s (aggregate with palreport -in %s)\n",
 				archived, metricsDir, metricsDir)

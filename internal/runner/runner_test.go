@@ -337,6 +337,55 @@ func TestDeriveSeedStable(t *testing.T) {
 	}
 }
 
+// TestShardOf: shard assignment is a pure, stable function of the key's
+// content. The golden values pin the FNV-1a reduction so the assignment
+// can never drift across releases — a drift would make two shard
+// processes built from different versions both skip (or both run) the
+// same cells. The partition property (every key in exactly one shard in
+// [0, n)) and the n<=1 degenerate case are checked over many keys.
+func TestShardOf(t *testing.T) {
+	golden := []struct {
+		key  string
+		n    int
+		want int
+	}{
+		{"a", 2, 0},
+		{"a", 3, 1},
+		{"a", 7, 5},
+		{"b", 2, 1},
+		{"b", 3, 1},
+		{"b", 7, 0},
+		{"9259dea90ff87395a9383610dc9a2be04aff24b3126d953a6b133d2a922df9df", 2, 1},
+		{"9259dea90ff87395a9383610dc9a2be04aff24b3126d953a6b133d2a922df9df", 3, 1},
+		{"9259dea90ff87395a9383610dc9a2be04aff24b3126d953a6b133d2a922df9df", 7, 0},
+	}
+	for _, g := range golden {
+		if got := ShardOf(g.key, g.n); got != g.want {
+			t.Errorf("ShardOf(%q, %d) = %d, want %d (assignment drifted)", g.key, g.n, got, g.want)
+		}
+	}
+	counts := make([]int, 5)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		s := ShardOf(key, 5)
+		if s < 0 || s >= 5 {
+			t.Fatalf("ShardOf(%q, 5) = %d out of range", key, s)
+		}
+		if again := ShardOf(key, 5); again != s {
+			t.Fatalf("ShardOf(%q, 5) unstable: %d then %d", key, s, again)
+		}
+		counts[s]++
+		if ShardOf(key, 1) != 0 || ShardOf(key, 0) != 0 {
+			t.Fatalf("ShardOf(%q, n<=1) != 0", key)
+		}
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d received none of 500 keys (degenerate distribution)", s)
+		}
+	}
+}
+
 // TestHashCanonical: the canonical hasher distinguishes field boundaries
 // and bit-level float differences.
 func TestHashCanonical(t *testing.T) {

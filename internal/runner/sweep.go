@@ -67,3 +67,26 @@ func DeriveSeed(base uint64, key string) uint64 {
 	}
 	return rng.New(base).Split(label).Uint64()
 }
+
+// ShardOf deterministically assigns a cache key to one of n shards:
+// FNV-1a over the key bytes, reduced mod n. The assignment is a pure
+// function of the key's content — never of enumeration order, worker
+// count or platform — so n independent processes enumerating the same
+// grid partition it identically without coordination: each runs the
+// cells whose ShardOf equals its own index and every cell lands in
+// exactly one shard. n <= 1 means unsharded (everything is shard 0).
+func ShardOf(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(n))
+}

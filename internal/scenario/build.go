@@ -53,6 +53,16 @@ type Built struct {
 // is deterministic in the spec, so building twice — or on two machines
 // — yields identical inputs.
 func (s *Spec) Build() (*Built, error) {
+	if s.Grid != nil {
+		// A grid spec is a generator, not one configuration; building it
+		// would have to pick a cell arbitrarily. Count the cells so the
+		// message says what the spec actually describes.
+		n := "?"
+		if cells, err := s.ExpandGrid(); err == nil {
+			n = fmt.Sprintf("%d", len(cells))
+		}
+		return nil, fmt.Errorf("scenario %s: spec is a grid of %s cells; expand it first (Spec.ExpandGrid, or sweep it with palsweep -scenario)", s.Name, n)
+	}
 	topo := cluster.Topology{
 		NumNodes:     s.Cluster.Nodes,
 		GPUsPerNode:  s.Cluster.GPUsPerNode,
@@ -331,13 +341,14 @@ func buildAdmission(name string) (sim.Admission, error) {
 // genuinely matches.
 func (b *Built) Key() string {
 	h := runner.NewHash()
-	// v3: the spec grew a decisions block (whose trace rides on cached
-	// results, so a decisions-on run must never alias a decisions-off
-	// one); v2 added the metrics block for the same reason. The canonical
-	// JSON hashed below already encodes the new field for every spec; the
-	// version bump marks the encoding change explicitly per the cache-key
-	// invariant.
-	h.String("scenario/v3")
+	// v4: the spec grew the grid block and the per-cell defaulting pass
+	// that comes with it (grid bases stay un-normalized; cells normalize
+	// after axis overrides), so the spec-encoding generation is marked
+	// explicitly per the cache-key invariant even though a grid spec
+	// itself never reaches Key. v3 added the decisions block (whose trace
+	// rides on cached results, so a decisions-on run must never alias a
+	// decisions-off one); v2 added the metrics block for the same reason.
+	h.String("scenario/v4")
 	canon, err := b.Spec.Canonical()
 	if err != nil {
 		// Canonical only fails on a non-serializable spec, which Parse

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -13,7 +14,7 @@ import (
 // spec, a generator, or the key encoding: bump the version tag in
 // Built.Key (per the cache-key invariant) and update the constant below
 // in the same commit.
-const goldenSpecKey = "9808377eb4bd1faaba3ca4ea9a2760e7d679e3b0b5902bac57cc65b38f45fe6a"
+const goldenSpecKey = "9259dea90ff87395a9383610dc9a2be04aff24b3126d953a6b133d2a922df9df"
 
 func TestGoldenScenarioKey(t *testing.T) {
 	spec, err := LoadFile("../../examples/scenario/spec.json")
@@ -40,5 +41,58 @@ func TestGoldenScenarioKey(t *testing.T) {
 	}
 	if b2.Key() == goldenSpecKey {
 		t.Error("decisions block does not feed the cache key (stale-cache hazard)")
+	}
+}
+
+// TestGridAxisKeySensitivity: every grid axis must perturb the expanded
+// cells' cache keys through the *configuration*, not just through the
+// generated cell names. For each axis, a two-value single-axis grid is
+// expanded and both cells are renamed to the same probe name before
+// keying — if the keys still differ, the axis genuinely feeds the
+// simulation inputs; if they collide, the axis is decorative and a
+// sweep over it would serve one cell's cached result for the other (the
+// stale-cache bug class).
+func TestGridAxisKeySensitivity(t *testing.T) {
+	axes := []struct {
+		name string
+		grid string
+	}{
+		{"seeds", `"seeds": [1, 2]`},
+		{"nodes", `"nodes": [2, 4]`},
+		{"gpus_per_node", `"gpus_per_node": [2, 4]`},
+		{"policies", `"policies": ["pal", "pm-first"]`},
+		{"scheds", `"scheds": ["fifo", "srtf"]`},
+		{"jobs_per_hour", `"jobs_per_hour": [10, 20]`},
+		{"num_jobs", `"num_jobs": [20, 40]`},
+		{"arrivals", `"arrivals": ["poisson", "bursty"]`},
+	}
+	for _, ax := range axes {
+		t.Run(ax.name, func(t *testing.T) {
+			spec, err := Parse([]byte(fmt.Sprintf(
+				`{"name": "sens", "cluster": {"nodes": 4}, "workload": {"source": "synthetic", "num_jobs": 20}, "grid": {%s}}`,
+				ax.grid)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells, err := spec.ExpandGrid()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cells) != 2 {
+				t.Fatalf("expanded %d cells, want 2", len(cells))
+			}
+			keys := make([]string, len(cells))
+			for i, c := range cells {
+				c.Name = "probe"
+				b, err := c.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				keys[i] = b.Key()
+			}
+			if keys[0] == keys[1] {
+				t.Errorf("axis %s does not perturb the cell cache key (both cells keyed %s)", ax.name, keys[0][:16])
+			}
+		})
 	}
 }

@@ -1,0 +1,283 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// gridDemoSpec is a three-axis grid over a small synthetic workload:
+// axis declaration order differs from canonical order (policies before
+// seeds) and seed values are deliberately unsorted, so the test below
+// can pin that expansion follows canonical axis order with values in
+// listed order.
+const gridDemoSpec = `{
+  "name": "g",
+  "cluster": {"nodes": 2, "gpus_per_node": 2},
+  "workload": {"source": "synthetic", "num_jobs": 10},
+  "grid": {
+    "policies": ["pal", "pm-first"],
+    "seeds": [2, 1],
+    "jobs_per_hour": [20, 10]
+  }
+}`
+
+// TestGridExpansionDeterministic pins the expansion contract: axes vary
+// in canonical order (struct order: seeds before policies before
+// jobs_per_hour, regardless of declaration order in the file), values
+// stay in listed order (unsorted seeds stay unsorted), the cross
+// product is row-major with the last axis fastest, and expansion is a
+// fixed point — every cell re-expands to itself and survives the
+// canonical round trip, and the grid spec's own canonical form expands
+// to the identical cell list.
+func TestGridExpansionDeterministic(t *testing.T) {
+	spec, err := Parse([]byte(gridDemoSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := spec.ExpandGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNames := []string{
+		"g@seed=2,policy=pal,jph=20",
+		"g@seed=2,policy=pal,jph=10",
+		"g@seed=2,policy=pm-first,jph=20",
+		"g@seed=2,policy=pm-first,jph=10",
+		"g@seed=1,policy=pal,jph=20",
+		"g@seed=1,policy=pal,jph=10",
+		"g@seed=1,policy=pm-first,jph=20",
+		"g@seed=1,policy=pm-first,jph=10",
+	}
+	if len(cells) != len(wantNames) {
+		t.Fatalf("expanded %d cells, want %d", len(cells), len(wantNames))
+	}
+	for i, c := range cells {
+		if c.Name != wantNames[i] {
+			t.Errorf("cell %d named %q, want %q (expansion order is part of the contract)", i, c.Name, wantNames[i])
+		}
+		if c.Grid != nil {
+			t.Errorf("cell %d still carries a grid block", i)
+		}
+		// Per-cell defaulting: the synthetic workload seed must follow
+		// the *cell's* root seed, not the base spec's — the reason grid
+		// bases stay un-normalized until after the axis overrides.
+		if c.Workload.Seed != c.Seed {
+			t.Errorf("cell %d workload seed %d, want cell root seed %d", i, c.Workload.Seed, c.Seed)
+		}
+	}
+	// Spot-check the axis overrides landed on the right fields.
+	if cells[3].Seed != 2 || cells[3].Policy.Name != "pm-first" || cells[3].Workload.JobsPerHour != 10 {
+		t.Errorf("cell 3 overrides wrong: seed=%d policy=%s jph=%g", cells[3].Seed, cells[3].Policy.Name, cells[3].Workload.JobsPerHour)
+	}
+
+	// Fixed point, cell level: every cell is an ordinary spec that is its
+	// own single-element expansion and survives the canonical round trip.
+	for i, c := range cells {
+		single, err := c.ExpandGrid()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(single) != 1 || single[0] != c {
+			t.Errorf("cell %d does not expand to itself", i)
+		}
+		canon, err := c.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reparsed, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("cell %d canonical form does not re-parse: %v", i, err)
+		}
+		if !reflect.DeepEqual(c, reparsed) {
+			t.Errorf("cell %d changed across the canonical round trip", i)
+		}
+	}
+
+	// Fixed point, grid level: canonicalizing and re-parsing the grid
+	// spec itself must expand to the identical cell list.
+	canon, err := spec.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	respec, err := Parse(canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recells, err := respec.ExpandGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cells, recells) {
+		t.Error("re-parsed grid spec expands differently")
+	}
+
+	// And twice from the same spec, trivially.
+	again, err := spec.ExpandGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cells, again) {
+		t.Error("second expansion of the same spec differs")
+	}
+}
+
+// TestGridDuplicateCellRejected: duplicate axis values are rejected at
+// the axis level, and — defense in depth, exercised white-box since
+// axis validation makes it otherwise unreachable — two cells that
+// normalize to the same configuration modulo name are rejected at
+// expansion rather than silently sharing one cache key.
+func TestGridDuplicateCellRejected(t *testing.T) {
+	_, err := Parse([]byte(`{
+	  "name": "dup", "workload": {"source": "synthetic", "num_jobs": 5},
+	  "grid": {"policies": ["pal", "pm-first", "pal"]}}`))
+	if err == nil {
+		t.Fatal("Parse accepted a grid axis with repeated values")
+	}
+	for _, want := range []string{"grid axis policies", "repeats value pal", "distinct"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not state %q", err, want)
+		}
+	}
+
+	// White-box: drive expandCells directly with a duplicated axis value
+	// (bypassing axis validation) to pin the canonical-collision guard.
+	base, err := Parse([]byte(`{"name": "dup", "workload": {"source": "synthetic", "num_jobs": 5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &GridSpec{Policies: []string{"pal", "pal"}}
+	_, err = base.expandCells(g.axes())
+	if err == nil {
+		t.Fatal("expandCells accepted two cells with identical configurations")
+	}
+	if !strings.Contains(err.Error(), "same configuration") {
+		t.Errorf("collision error %q does not name the aliasing", err)
+	}
+}
+
+// TestGridSpecDoesNotBuild: a grid spec is a generator; Build must
+// refuse it with a message that says what it is and where to take it.
+func TestGridSpecDoesNotBuild(t *testing.T) {
+	spec, err := Parse([]byte(gridDemoSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = spec.Build()
+	if err == nil {
+		t.Fatal("Build accepted a grid spec")
+	}
+	for _, want := range []string{"grid of 8 cells", "palsweep"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not state %q", err, want)
+		}
+	}
+}
+
+// TestGridFuzzRoundTripAndUniqueKeys extends the scenario fuzz test to
+// the grid DSL: random small grids must (a) round-trip parse →
+// canonicalize → parse as a fixed point, (b) expand deterministically,
+// and (c) never expand to two cells with the same Built.Key() — checked
+// with every cell renamed to one probe name, so uniqueness comes from
+// the configurations, not the generated cell names.
+func TestGridFuzzRoundTripAndUniqueKeys(t *testing.T) {
+	r := rng.New(0xBEEF)
+	for i := 0; i < 20; i++ {
+		g := &GridSpec{}
+		// Fillers populate one axis each with 1-3 distinct in-range
+		// values; a random subset of at most three axes keeps every fuzzed
+		// grid at <= 27 cells.
+		pickStrings := func(universe []string) []string {
+			n := 1 + r.Intn(len(universe)-1)
+			perm := r.Perm(len(universe))
+			out := make([]string, n)
+			for j := range out {
+				out[j] = universe[perm[j]]
+			}
+			return out
+		}
+		fillers := []func(){
+			func() {
+				perm := r.Perm(1000)
+				g.Seeds = make([]uint64, 1+r.Intn(3))
+				for j := range g.Seeds {
+					g.Seeds[j] = uint64(perm[j] + 1)
+				}
+			},
+			func() { g.Policies = pickStrings([]string{"pal", "pm-first", "packed-sticky", "random-sticky"}) },
+			func() { g.Scheds = pickStrings([]string{"fifo", "las", "srtf"}) },
+			func() {
+				perm := r.Perm(12)
+				g.JobsPerHour = make([]float64, 1+r.Intn(3))
+				for j := range g.JobsPerHour {
+					g.JobsPerHour[j] = float64(5 * (perm[j] + 1))
+				}
+			},
+			func() {
+				perm := r.Perm(12)
+				g.NumJobs = make([]int, 1+r.Intn(3))
+				for j := range g.NumJobs {
+					g.NumJobs[j] = perm[j] + 2
+				}
+			},
+			func() { g.Arrivals = pickStrings([]string{"poisson", "bursty", "diurnal"}) },
+		}
+		order := r.Perm(len(fillers))
+		for _, fi := range order[:1+r.Intn(3)] {
+			fillers[fi]()
+		}
+		s := Spec{
+			Name: fmt.Sprintf("gfuzz-%d", i),
+			Cluster: ClusterSpec{
+				Nodes:       1 + r.Intn(4),
+				GPUsPerNode: 1 + r.Intn(2),
+			},
+			Workload: WorkloadSpec{
+				Source:      "synthetic",
+				NumJobs:     2 + r.Intn(6),
+				JobsPerHour: float64(10 + r.Intn(40)),
+			},
+			Grid: g,
+		}
+		raw, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(s.Name, func(t *testing.T) {
+			checkCanonicalRoundTrip(t, raw)
+			spec, err := Parse(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cells, err := spec.ExpandGrid()
+			if err != nil {
+				t.Fatal(err)
+			}
+			again, err := spec.ExpandGrid()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(cells, again) {
+				t.Fatal("expansion is not deterministic")
+			}
+			seen := make(map[string]string, len(cells))
+			for _, c := range cells {
+				probe := c.clone()
+				probe.Name = "probe"
+				b, err := probe.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				key := b.Key()
+				if prev, dup := seen[key]; dup {
+					t.Fatalf("cells %s and %s share cache key %s", prev, c.Name, key[:16])
+				}
+				seen[key] = c.Name
+			}
+		})
+	}
+}

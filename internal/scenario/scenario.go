@@ -63,6 +63,10 @@ type Spec struct {
 	Engine    EngineSpec    `json:"engine"`
 	Metrics   MetricsSpec   `json:"metrics"`
 	Decisions DecisionsSpec `json:"decisions"`
+	// Grid, when present, turns the spec into a cross-product generator:
+	// ExpandGrid yields one ordinary per-cell spec per combination of the
+	// listed axis values. Grid-bearing specs cannot Build directly.
+	Grid *GridSpec `json:"grid,omitempty"`
 }
 
 // ClusterSpec describes the simulated cluster's topology.
@@ -272,6 +276,14 @@ func (s *Spec) normalize() {
 	if s.Name == "" {
 		s.Name = "scenario"
 	}
+	if s.Grid != nil {
+		// A grid base stays otherwise un-normalized: defaults are applied
+		// per expanded cell after the axis overrides, so cross-field
+		// defaults (the synthetic workload seed following the root seed,
+		// synergy num_jobs following jobs_per_hour) are computed from each
+		// cell's own values instead of being frozen at the base's.
+		return
+	}
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
@@ -400,6 +412,12 @@ func sortDedup(names []string) []string {
 // Every error states the offending value *and* the expected range, so a
 // bad spec is fixable from the message alone.
 func (s *Spec) Validate() error {
+	if s.Grid != nil {
+		// Grid-bearing specs are validated through their expansion: the
+		// axis lists are checked, then every expanded cell is normalized
+		// and validated like a hand-written spec.
+		return s.validateGrid()
+	}
 	if s.Cluster.Nodes <= 0 {
 		return fmt.Errorf("scenario %s: cluster nodes %d, want >= 1", s.Name, s.Cluster.Nodes)
 	}

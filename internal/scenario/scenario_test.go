@@ -109,34 +109,40 @@ func fuzzMetrics(r *rng.RNG) MetricsSpec {
 	return m
 }
 
+// checkCanonicalRoundTrip asserts parse → canonicalize → parse is a
+// fixed point for one spec source. Shared by the corpus/fuzz round-trip
+// test below and the grid fuzz test (grid_test.go).
+func checkCanonicalRoundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	s1, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v (spec %s)", err, src)
+	}
+	c1, err := s1.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(c1)
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v\n%s", err, c1)
+	}
+	c2, err := s2.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("canonicalization not a fixed point:\nfirst:\n%s\nsecond:\n%s", c1, c2)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("re-parsed spec differs:\n%+v\nvs\n%+v", s1, s2)
+	}
+}
+
 // TestCanonicalRoundTripStable is the fuzz-style stability test: for a
 // corpus of specs plus randomized mutations of every optional numeric
 // field, parse → canonicalize → parse must be a fixed point.
 func TestCanonicalRoundTripStable(t *testing.T) {
-	check := func(t *testing.T, src []byte) {
-		s1, err := Parse(src)
-		if err != nil {
-			t.Fatalf("parse: %v (spec %s)", err, src)
-		}
-		c1, err := s1.Canonical()
-		if err != nil {
-			t.Fatal(err)
-		}
-		s2, err := Parse(c1)
-		if err != nil {
-			t.Fatalf("canonical form does not re-parse: %v\n%s", err, c1)
-		}
-		c2, err := s2.Canonical()
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(c1, c2) {
-			t.Fatalf("canonicalization not a fixed point:\nfirst:\n%s\nsecond:\n%s", c1, c2)
-		}
-		if !reflect.DeepEqual(s1, s2) {
-			t.Fatalf("re-parsed spec differs:\n%+v\nvs\n%+v", s1, s2)
-		}
-	}
+	check := checkCanonicalRoundTrip
 	for i, src := range specCorpus() {
 		i, src := i, src
 		t.Run(fmt.Sprintf("corpus-%d", i), func(t *testing.T) { check(t, []byte(src)) })

@@ -133,6 +133,51 @@ func TestValidateMessagesStateConstraints(t *testing.T) {
 			spec: `{"decisions": {"enabled": true, "record": ["gut_feeling"]}}`,
 			want: []string{`unknown decisions record facet "gut_feeling"`, "have ["},
 		},
+		{
+			name: "grid with no axes",
+			spec: `{"workload": {"source": "synthetic"}, "grid": {}}`,
+			want: []string{"grid block has no axes", "seeds, nodes, gpus_per_node, policies, scheds, jobs_per_hour, num_jobs, arrivals"},
+		},
+		{
+			name: "grid with explicitly empty axis",
+			spec: `{"workload": {"source": "synthetic"}, "grid": {"policies": []}}`,
+			want: []string{"grid axis policies is empty", "want >= 1 value"},
+		},
+		{
+			name: "grid axis with duplicate values",
+			spec: `{"workload": {"source": "synthetic"}, "grid": {"seeds": [3, 3]}}`,
+			want: []string{"grid axis seeds", "repeats value 3", "distinct"},
+		},
+		{
+			name: "grid seed zero",
+			spec: `{"workload": {"source": "synthetic"}, "grid": {"seeds": [0]}}`,
+			want: []string{"grid seeds value 0", "want >= 1"},
+		},
+		{
+			name: "grid nodes non-positive",
+			spec: `{"workload": {"source": "synthetic"}, "grid": {"nodes": [-2]}}`,
+			want: []string{"grid nodes value -2", "want >= 1"},
+		},
+		{
+			name: "grid jobs_per_hour non-positive",
+			spec: `{"workload": {"source": "synthetic"}, "grid": {"jobs_per_hour": [0]}}`,
+			want: []string{"grid jobs_per_hour value 0", "want > 0"},
+		},
+		{
+			name: "grid empty policy name",
+			spec: `{"workload": {"source": "synthetic"}, "grid": {"policies": [""]}}`,
+			want: []string{`grid policies value ""`, "registered placement-policy name"},
+		},
+		{
+			name: "grid unknown field",
+			spec: `{"workload": {"source": "synthetic"}, "grid": {"rack_sizes": [2]}}`,
+			want: []string{"rack_sizes"},
+		},
+		{
+			name: "grid cell invalid after expansion",
+			spec: `{"workload": {"source": "synthetic"}, "grid": {"arrivals": ["weekly"]}}`,
+			want: []string{"grid cell 1 of 1", "arrivals=weekly"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
