@@ -24,6 +24,8 @@
 //	palreport -in results/.palstore            # telemetry embedded in a result store
 //	palreport -in out/ -decisions              # + decision-trace summary table
 //	palreport -in shared/.palstore -grid grid.json   # partial sweep: count missing cells
+//	palreport -journal out/journal                   # merge execution journals (no -in needed)
+//	palreport -journal out/journal -slowest 10 -format md
 //
 // A token that is a result-store directory (the layout palsweep -store
 // writes) contributes the telemetry payload embedded in every stored
@@ -38,6 +40,15 @@
 // (palsweep -shard i/n) reports its gaps explicitly rather than
 // silently dropping them. Presence is judged against the stored result
 // keys and loaded payload keys.
+//
+// -journal points at a directory of *.journal.jsonl files (what
+// `palsweep -journal` and `palsim -journal` append, one per process)
+// and renders the orchestration-layer view: journal_shards (per-process
+// cache-tier hit counts, reconciled against each summary's pool
+// counters), journal_store (store get/put latency quantiles, merged
+// bin-wise across shards), journal_slowest (the -slowest N stragglers
+// across all processes) and journal_workers (per-slot utilization). It
+// needs no -in; combined with -in, the journal tables render first.
 //
 // -decisions appends a fourth table, decisions_summary: one row per
 // archived decision trace (*.decisions.json next to the payloads, or
@@ -69,21 +80,29 @@ var cdfPercentiles = []float64{10, 25, 50, 75, 90, 95, 99}
 
 func main() {
 	var (
-		in        = flag.String("in", "", "comma-separated payload files, directories or globs (*.metrics.json), or result-store directories (palsweep -store)")
-		baseline  = flag.String("baseline", "", "payload name to compare against (default: the first payload)")
-		format    = flag.String("format", "text", "output format: text, csv, md, json")
-		outDir    = flag.String("out", "", "write one file per table into this directory instead of stdout")
-		decisions = flag.Bool("decisions", false, "also tabulate archived decision traces (*.decisions.json or store-embedded) — one summary row per run; render full timelines with palexplain")
-		gridFlag  = flag.String("grid", "", "scenario spec files (comma-separated, directories or globs) whose grid expansion defines the expected cells; prepends a grid_coverage table and tolerates partially-swept archives")
+		in          = flag.String("in", "", "comma-separated payload files, directories or globs (*.metrics.json), or result-store directories (palsweep -store)")
+		baseline    = flag.String("baseline", "", "payload name to compare against (default: the first payload)")
+		format      = flag.String("format", "text", "output format: text, csv, md, json")
+		outDir      = flag.String("out", "", "write one file per table into this directory instead of stdout")
+		decisions   = flag.Bool("decisions", false, "also tabulate archived decision traces (*.decisions.json or store-embedded) — one summary row per run; render full timelines with palexplain")
+		gridFlag    = flag.String("grid", "", "scenario spec files (comma-separated, directories or globs) whose grid expansion defines the expected cells; prepends a grid_coverage table and tolerates partially-swept archives")
+		journalFlag = flag.String("journal", "", "directory of *.journal.jsonl execution journals (palsweep/palsim -journal) to merge into cross-shard tables")
+		slowest     = flag.Int("slowest", 5, "with -journal: how many slowest tasks to rank")
 	)
 	flag.Parse()
-	if *in == "" {
-		fatal(fmt.Errorf("-in is required (point it at a palsweep -metrics directory or a -store directory)"))
+	if *in == "" && *journalFlag == "" {
+		fatal(fmt.Errorf("-in is required (point it at a palsweep -metrics directory or a -store directory), unless -journal is given"))
 	}
 	switch *format {
 	case "text", "csv", "md", "json":
 	default:
 		fatal(fmt.Errorf("unknown format %q (want text, csv, md or json)", *format))
+	}
+	if *journalFlag != "" {
+		runJournal(*journalFlag, *slowest, *format, *outDir)
+		if *in == "" {
+			return
+		}
 	}
 
 	payloads := loadPayloads(*in)

@@ -12,6 +12,8 @@
 //	palsim -scenario spec.json -metrics out/               # archive telemetry (series CSVs + payload JSON)
 //	palsim -scenario spec.json -decisions -metrics out/    # + decision trace, ready for palexplain
 //	palsim -scenario spec.json -store results/.palstore    # repeat runs become O(read)
+//	palsim -scenario spec.json -journal out/journal        # append an execution-journal record
+//	palsim -trace sia -workload 5 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With -scenario, the whole configuration comes from the JSON spec
 // (internal/scenario documents the format) and the other
@@ -19,18 +21,28 @@
 // knobs. -metrics works on both paths: it attaches the fast-forward-safe
 // collector (internal/metrics) and dumps the run's series and payload
 // into the named directory, ready for cmd/palreport.
+//
+// With -journal, the run appends an execution journal (internal/journal)
+// into the named directory — one task record naming whether the result
+// was simulated or loaded from the store, plus a summary with store
+// latency samples — mergeable with palsweep shard journals by
+// `palreport -journal`. -cpuprofile/-memprofile write Go pprof profiles
+// on clean exit.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/decision"
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/journal"
 	"repro/internal/metrics"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -59,11 +71,29 @@ func main() {
 		metricsDir = flag.String("metrics", "", "collect telemetry and dump the run's series (CSV) and payload (JSON) into this directory")
 		decisions  = flag.Bool("decisions", false, "record the decision trace (internal/decision); with -metrics, the trace is archived next to the payload for palexplain")
 		storeDir   = flag.String("store", "", "persistent result-store directory: repeat runs of the same configuration load from disk instead of simulating")
+		journalDir = flag.String("journal", "", "append this run's execution journal (task record, store latency, summary) into this directory for palreport -journal")
+		cpuProfile = flag.String("cpuprofile", "", "write a Go CPU profile to this file (flushed on clean exit)")
+		memProfile = flag.String("memprofile", "", "write a Go heap profile to this file on clean exit")
 	)
 	flag.Parse()
 
+	var err error
+	stopProfiles, err = journal.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+		os.Exit(2)
+	}
+	if *journalDir != "" {
+		jw, err = journal.Create(*journalDir, journal.Header{Role: "palsim", Workers: 1})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	if *scenPath != "" {
 		runScenario(*scenPath, *dumpTrace, *asJSON, *events, *utilize, *metricsDir, *decisions, *storeDir)
+		finishJournal()
 		return
 	}
 	if *dumpTrace != "" {
@@ -120,7 +150,8 @@ func main() {
 		spec.ModelLacross = trace.LacrossByModel()
 	}
 
-	res := throughStore(*storeDir, spec.Key(), func() (*sim.Result, error) {
+	label := fmt.Sprintf("%s %s %s", tr.Name, spec.Policy.RegistryName(), s.Name())
+	res := throughStore(*storeDir, spec.Key(), label, func() (*sim.Result, error) {
 		return experiments.Run(spec)
 	})
 
@@ -134,57 +165,123 @@ func main() {
 			fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
 			os.Exit(1)
 		}
+		finishJournal()
 		return
 	}
 
 	header := fmt.Sprintf("trace=%s jobs=%d cluster=%d GPUs policy=%s sched=%s lacross=%.2f",
 		tr.Name, len(tr.Jobs), topo.Size(), pol, s.Name(), *lacross)
 	printMetrics(header, res, *events, *utilize)
+	finishJournal()
+}
+
+// Journal state for the optional -journal/-cpuprofile/-memprofile
+// flags. palsim runs one simulation, so the journal holds a single
+// synthetic worker slot whose tallies throughStore maintains; fatal
+// paths leave a summary-less journal, which the reader reports as
+// incomplete rather than guessing.
+var (
+	jw           *journal.Writer
+	storeProbe   *journal.BackendProbe
+	tally        runner.Stats
+	cacheTally   runner.CacheStats
+	stopProfiles = func() error { return nil }
+)
+
+// finishJournal closes the journal with the run's summary and flushes
+// any profiles; called on every clean exit path.
+func finishJournal() {
+	if jw != nil {
+		ct := cacheTally
+		sum := journal.Summary{Runner: tally, Cache: &ct}
+		if storeProbe != nil {
+			sum.StoreGet, sum.StorePut = storeProbe.Stats()
+		}
+		if err := jw.Close(sum); err != nil {
+			fmt.Fprintf(os.Stderr, "palsim: WARNING: journal degraded: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "palsim: journal %s\n", jw.Path())
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
+	}
 }
 
 // throughStore runs the simulation through the persistent store when
 // -store is set: a stored result for the run's content-addressed key is
 // loaded instead of simulating, and a fresh result is persisted for
-// later invocations. Store failures degrade to simulating (with a
-// warning), mirroring the runner cache's backend semantics. It finishes
-// with the same `simulated / cache hits (memory, store) / stored`
-// summary line palsweep prints, so warm starts are observable from both
-// CLIs (palsim has no in-memory tier, so "memory" is always 0 here).
-func throughStore(dir, key string, run func() (*sim.Result, error)) *sim.Result {
-	var st *store.Store
+// later invocations. Store failures degrade to simulating (with an
+// explicit WARNING), mirroring the runner cache's backend semantics. It
+// finishes with the same `simulated / cache hits (memory, store) /
+// stored` summary line palsweep prints, so warm starts are observable
+// from both CLIs (palsim has no in-memory tier, so "memory" is always 0
+// here). With -journal, the run lands in the journal as one task span
+// whose outcome names the tier that satisfied it.
+func throughStore(dir, key, label string, run func() (*sim.Result, error)) *sim.Result {
+	start := time.Now()
+	observe := func(outcome runner.TaskOutcome, runDur time.Duration, err error) {
+		tally.Submitted++
+		tally.Completed++
+		switch outcome {
+		case runner.OutcomeStoreHit:
+			tally.CacheHits++
+			cacheTally.StoreHits++
+		default:
+			tally.Executed++
+			cacheTally.Misses++
+		}
+		if jw != nil {
+			jw.ObserveTask(runner.TaskSpan{Key: key, Label: label, Outcome: outcome,
+				Err: err, Start: start, Duration: time.Since(start), Run: runDur})
+		}
+	}
+	var backend runner.Backend
 	if dir != "" {
-		var err error
-		st, err = store.Open(dir)
+		st, err := store.Open(dir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
 			os.Exit(2)
 		}
-		res, ok, err := st.Get(key)
+		backend = st
+		if jw != nil {
+			storeProbe = journal.ProbeBackend(st)
+			backend = storeProbe
+		}
+		res, ok, err := backend.Get(key)
 		switch {
 		case err != nil:
-			fmt.Fprintf(os.Stderr, "palsim: store degraded, simulating: %v\n", err)
+			cacheTally.StoreErrors++
+			fmt.Fprintf(os.Stderr, "palsim: WARNING: store degraded, simulating: %v\n", err)
 		case ok:
 			fmt.Fprintf(os.Stderr, "palsim: loaded result from store (key %s)\n", key[:16])
 			fmt.Fprintln(os.Stderr, "palsim: 0 simulated, 1 cache hits (0 memory, 1 store)")
+			observe(runner.OutcomeStoreHit, 0, nil)
 			return res
 		}
 	}
+	t0 := time.Now()
 	res, err := run()
+	runDur := time.Since(t0)
 	if err != nil {
+		observe(runner.OutcomeError, runDur, err)
 		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
 		os.Exit(1)
 	}
-	if st != nil {
+	if backend != nil {
 		summary := "1 simulated, 0 cache hits (0 memory, 0 store)"
-		if err := st.Put(key, res); err != nil {
-			fmt.Fprintf(os.Stderr, "palsim: store write failed: %v\n", err)
+		if perr := backend.Put(key, res); perr != nil {
+			cacheTally.StoreErrors++
+			fmt.Fprintf(os.Stderr, "palsim: WARNING: store write failed, result not persisted: %v\n", perr)
 			summary += ", 1 store errors"
 		} else {
+			cacheTally.Stored++
 			fmt.Fprintf(os.Stderr, "palsim: stored result (key %s)\n", key[:16])
 			summary += ", 1 stored"
 		}
 		fmt.Fprintf(os.Stderr, "palsim: %s\n", summary)
 	}
+	observe(runner.OutcomeExecuted, runDur, nil)
 	return res
 }
 
@@ -280,7 +377,7 @@ func runScenario(path, dumpTrace string, asJSON bool, events int, utilize bool, 
 		}
 		fmt.Fprintf(os.Stderr, "palsim: saved %d-job workload to %s\n", len(built.Trace.Jobs), dumpTrace)
 	}
-	res := throughStore(storeDir, built.Key(), built.Run)
+	res := throughStore(storeDir, built.Key(), "scenario "+spec.Name, built.Run)
 	if metricsDir != "" {
 		dumpMetrics(metricsDir, spec.Name, res, built.Key())
 	}

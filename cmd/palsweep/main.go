@@ -24,6 +24,8 @@
 //	palsweep -scenario 'specs/pal-*.json' -metrics out/
 //	palsweep -scenario specs/ -store results/.palstore   # warm-start later sweeps
 //	palsweep -scenario grid.json -shard 0/2 -store shared/.palstore   # one of two shard processes
+//	palsweep -scenario grid.json -journal out/journal    # append this process's execution journal
+//	palsweep -scenario specs/ -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // With -scenario, each named declarative spec (internal/scenario
 // documents the format) becomes one simulation fanned out over the same
@@ -55,6 +57,18 @@
 // by tier; a repeat sweep over an unchanged grid reports 0 simulated.
 // Inspect or prune the store with cmd/palstore.
 //
+// With -journal, the process appends an execution journal (one JSONL
+// event stream, internal/journal) into the named directory: a task
+// record per completed simulation — which cache tier satisfied it,
+// which worker slot carried it, how long it took — and a final summary
+// carrying the pool/cache counters and store latency histograms.
+// Journals are observation-only wall-clock data, strictly outside
+// results and cache keys: a journaled sweep's tables are byte-identical
+// to an unjournaled run's. Each shard process of a sharded sweep writes
+// its own journal into the shared directory; cmd/palreport -journal
+// merges them into cross-shard tables. -cpuprofile/-memprofile write Go
+// pprof profiles on clean exit.
+//
 // Ctrl-C cancels the sweep: in-flight simulations finish, queued ones
 // never start.
 package main
@@ -76,6 +90,7 @@ import (
 	"repro/internal/decision"
 	"repro/internal/experiments"
 	"repro/internal/export"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -107,6 +122,9 @@ func main() {
 		decisions  = flag.Bool("decisions", false, "with -scenario: record each scenario's decision trace; with -metrics, traces are archived next to the payloads for palexplain")
 		storeDir   = flag.String("store", "", "persistent result-store directory: a disk cache tier shared across processes, so repeat sweeps execute 0 simulations")
 		shardFlag  = flag.String("shard", "", "with -scenario and -store: run only shard i/n of the expanded cells (e.g. 0/4); the n processes partition the grid by content hash and meet in the shared store")
+		journalDir = flag.String("journal", "", "append this process's execution journal (task spans, cache-tier outcomes, store latency) into this directory for palreport -journal")
+		cpuProfile = flag.String("cpuprofile", "", "write a Go CPU profile to this file (flushed on clean exit)")
+		memProfile = flag.String("memprofile", "", "write a Go heap profile to this file on clean exit")
 	)
 	flag.Parse()
 
@@ -189,16 +207,66 @@ func main() {
 	}()
 	sc.Ctx = ctx
 
+	stopProfiles, err := journal.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
 	cache := runner.NewResultCache(*cacheCap)
+	var storeProbe *journal.BackendProbe
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
 			fatal(err)
 		}
-		cache.SetBackend(st)
+		var backend runner.Backend = st
+		if *journalDir != "" {
+			// The probe wraps the store so the journal's summary carries
+			// per-op latency/size histograms; the cache (and its circuit
+			// breaker) sees the probe as just another backend.
+			storeProbe = journal.ProbeBackend(st)
+			backend = storeProbe
+		}
+		cache.SetBackend(backend)
 	}
 	pool := runner.NewPool(*workers, cache)
 	experiments.SetPool(pool)
+
+	var jw *journal.Writer
+	if *journalDir != "" {
+		jw, err = journal.Create(*journalDir, journal.Header{
+			Role: "palsweep", Shard: *shardFlag, Workers: pool.Workers(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		pool.SetProbe(jw)
+	}
+	// finish runs on every clean exit path (fatal paths leave a
+	// summary-less journal, which the reader reports as incomplete): the
+	// store-degradation warning, the journal summary record, and the
+	// profile flush.
+	finish := func() {
+		storeWarning(cache)
+		if jw != nil {
+			cs := cache.Stats()
+			sum := journal.Summary{
+				Runner:        pool.Stats(),
+				Cache:         &cs,
+				StoreDetached: cache.BackendDetached(),
+			}
+			if storeProbe != nil {
+				sum.StoreGet, sum.StorePut = storeProbe.Stats()
+			}
+			if err := jw.Close(sum); err != nil {
+				fmt.Fprintf(os.Stderr, "palsweep: WARNING: journal degraded: %v\n", err)
+			} else if !*quiet {
+				fmt.Fprintf(os.Stderr, "palsweep: journal %s\n", jw.Path())
+			}
+		}
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "palsweep: %v\n", err)
+		}
+	}
 
 	start := time.Now()
 	if *scenFlag != "" {
@@ -207,6 +275,7 @@ func main() {
 			fatal(err)
 		}
 		runScenarioSweep(ctx, pool, paths, *format, *outDir, *metricsDir, *decisions, *quiet, shard, start)
+		finish()
 		return
 	}
 	progressDone := make(chan struct{})
@@ -272,9 +341,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "palsweep: %d experiments, %s, %d workers, %.1fs total\n",
 			len(names)-failures, cacheSummary(pool), pool.Workers(), time.Since(start).Seconds())
 	}
+	finish()
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// storeWarning surfaces persistent-store degradation explicitly at the
+// end of a sweep: backend failures the cache degraded around, and
+// whether the circuit breaker detached the store entirely (results
+// computed after that point were not persisted). Printed even under
+// -quiet — silently losing persistence is worse than a noisy line.
+func storeWarning(cache *runner.ResultCache) {
+	if cache == nil {
+		return
+	}
+	cs := cache.Stats()
+	detached := cache.BackendDetached()
+	if cs.StoreErrors == 0 && !detached {
+		return
+	}
+	msg := fmt.Sprintf("palsweep: WARNING: persistent store degraded: %d backend errors", cs.StoreErrors)
+	if detached {
+		msg += "; store detached after repeated failures, later results were not persisted"
+	}
+	fmt.Fprintln(os.Stderr, msg)
 }
 
 // cacheSummary renders the sweep's cache effectiveness: simulations

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// Off unix there is no flock in the standard library and this
+// repository takes no external dependencies, so journal appends degrade
+// to plain O_APPEND writes — still atomic per line for the
+// one-writer-per-file layout Create enforces.
+func flock(*os.File) error { return nil }
+
+func funlock(*os.File) {}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package journal
+
+import (
+	"os"
+	"syscall"
+)
+
+// flock takes an exclusive BSD advisory lock on f, blocking until
+// granted; closing the file drops the lock even if the process dies
+// first, so a crashed writer can never wedge a journal.
+func flock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+}
+
+// funlock releases the advisory lock.
+func funlock(f *os.File) {
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

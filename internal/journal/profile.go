@@ -1,0 +1,56 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles begins a CPU profile at cpuPath and arranges a heap
+// profile at memPath (either may be empty to skip that profile), for the
+// CLIs' -cpuprofile/-memprofile flags. The returned stop function
+// finishes the CPU profile and writes the heap profile; profiles flush
+// on clean exit only — a fatal path that skips stop leaves at most a
+// partial CPU profile, never corrupt results. stop is never nil.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("journal: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = fmt.Errorf("journal: cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("journal: heap profile: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // settle the heap so the profile reflects live data
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil && first == nil {
+				first = fmt.Errorf("journal: heap profile: %w", err)
+			}
+		}
+		return first
+	}, nil
+}

@@ -49,6 +49,10 @@ type ResultCache struct {
 	entries  map[string]*list.Element // key -> element holding *cacheEntry
 	inflight map[string]*flight
 	backend  Backend
+	// hadBackend remembers that SetBackend attached a non-nil backend,
+	// so BackendDetached can distinguish "never had a store" from "the
+	// circuit breaker dropped it".
+	hadBackend bool
 
 	hits        int64 // memory-tier hits (including in-flight dedup)
 	misses      int64 // both tiers missed: the computation actually ran
@@ -102,6 +106,17 @@ func (c *ResultCache) SetBackend(b Backend) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.backend = b
+	c.hadBackend = b != nil
+}
+
+// BackendDetached reports whether a previously attached backend was
+// dropped by the consecutive-failure circuit breaker: the cache is now
+// memory-only and fresh results are no longer persisted. CLIs surface
+// this as an explicit degradation warning instead of failing sweeps.
+func (c *ResultCache) BackendDetached() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hadBackend && c.backend == nil
 }
 
 // CacheStats is a snapshot of the cache's counters, split by tier.
@@ -139,6 +154,16 @@ func (c *ResultCache) Len() int {
 	return c.ll.Len()
 }
 
+// tier names which layer satisfied a cache lookup; the pool translates
+// it into the probe's TaskOutcome and the per-tier hit counters.
+type tier uint8
+
+const (
+	tierComputed tier = iota // both tiers missed: compute ran
+	tierMemory               // memory LRU or another caller's in-flight computation
+	tierStore                // backend (persistent store) tier
+)
+
 // Do returns the cached result for key — from the memory tier, another
 // caller's in-flight lookup, or the backend tier — or runs compute
 // exactly once across concurrent callers and caches (and writes
@@ -150,19 +175,25 @@ func (c *ResultCache) Len() int {
 // Backend failures never fail the lookup: a broken store degrades the
 // cache to memory-only and is counted in Stats().StoreErrors.
 func (c *ResultCache) Do(key string, compute func() (*sim.Result, error)) (*sim.Result, bool, error) {
+	res, src, err := c.do(key, compute)
+	return res, src != tierComputed, err
+}
+
+// do is Do with the satisfying tier attributed, for the pool's probe.
+func (c *ResultCache) do(key string, compute func() (*sim.Result, error)) (*sim.Result, tier, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
 		res := el.Value.(*cacheEntry).res
 		c.mu.Unlock()
-		return res, true, nil
+		return res, tierMemory, nil
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.hits++
 		c.mu.Unlock()
 		<-f.done
-		return f.res, true, f.err
+		return f.res, tierMemory, f.err
 	}
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
@@ -200,7 +231,7 @@ func (c *ResultCache) Do(key string, compute func() (*sim.Result, error)) (*sim.
 			c.backendWorked(&c.storeHits)
 			f.res = res
 			returned = true
-			return res, true, nil
+			return res, tierStore, nil
 		default:
 			c.backendWorked(nil) // clean miss: the backend is healthy
 		}
@@ -216,7 +247,7 @@ func (c *ResultCache) Do(key string, compute func() (*sim.Result, error)) (*sim.
 			c.backendWorked(&c.stored)
 		}
 	}
-	return f.res, false, f.err
+	return f.res, tierComputed, f.err
 }
 
 // count bumps one counter under the cache mutex.

@@ -31,6 +31,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -88,6 +89,9 @@ type Pool struct {
 	// sem is the pool-global execution bound; every task acquires a slot
 	// for the duration of its run, across all concurrent Stream calls.
 	sem chan struct{}
+	// probe observes task lifecycles (SetProbe). Observation-only: the
+	// nil-probe path takes no timestamps and allocates nothing.
+	probe Probe
 
 	submitted atomic.Int64
 	completed atomic.Int64
@@ -178,7 +182,7 @@ func (p *Pool) Stream(ctx context.Context, tasks []Task, deliver func(i int, res
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			// A received index is always executed — bailing on `stop` here
 			// would drop an outcome the collector may need to flush the
@@ -204,7 +208,7 @@ func (p *Pool) Stream(ctx context.Context, tasks []Task, deliver func(i int, res
 				case <-ctx.Done():
 					return
 				}
-				res, err := p.exec(tasks[i])
+				res, err := p.exec(worker, tasks[i])
 				<-p.sem
 				select {
 				case outCh <- indexed{i, res, err}:
@@ -212,7 +216,7 @@ func (p *Pool) Stream(ctx context.Context, tasks []Task, deliver func(i int, res
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		defer close(idxCh)
@@ -278,11 +282,25 @@ func (p *Pool) Stream(ctx context.Context, tasks []Task, deliver func(i int, res
 	return nil
 }
 
-// exec runs one task with panic capture and cache routing.
-func (p *Pool) exec(t Task) (*sim.Result, error) {
+// exec runs one task with panic capture, cache routing and (when a
+// probe is attached) lifecycle-span observation. The probe sees the
+// outcome the cache tiers decided — executed, memory-hit, store-hit or
+// error — after the task completes; with no probe attached, no clocks
+// are read.
+func (p *Pool) exec(worker int, t Task) (*sim.Result, error) {
 	defer p.completed.Add(1)
+	probe := p.probe
+	var start time.Time
+	var runDur time.Duration
+	if probe != nil {
+		start = time.Now()
+	}
 	run := func() (res *sim.Result, err error) {
 		p.executed.Add(1)
+		if probe != nil {
+			t0 := time.Now()
+			defer func() { runDur = time.Since(t0) }()
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				err = &PanicError{Label: t.Label, Value: r, Stack: debug.Stack()}
@@ -290,12 +308,38 @@ func (p *Pool) exec(t Task) (*sim.Result, error) {
 		}()
 		return t.Run()
 	}
+	var res *sim.Result
+	var err error
+	outcome := OutcomeExecuted
 	if p.cache == nil || t.Key == "" {
-		return run()
+		res, err = run()
+	} else {
+		var src tier
+		res, src, err = p.cache.do(t.Key, run)
+		if src != tierComputed {
+			p.cacheHits.Add(1)
+		}
+		switch src {
+		case tierMemory:
+			outcome = OutcomeMemoryHit
+		case tierStore:
+			outcome = OutcomeStoreHit
+		}
 	}
-	res, hit, err := p.cache.Do(t.Key, run)
-	if hit {
-		p.cacheHits.Add(1)
+	if err != nil {
+		outcome = OutcomeError
+	}
+	if probe != nil {
+		probe.ObserveTask(TaskSpan{
+			Key:      t.Key,
+			Label:    t.Label,
+			Worker:   worker,
+			Outcome:  outcome,
+			Err:      err,
+			Start:    start,
+			Duration: time.Since(start),
+			Run:      runDur,
+		})
 	}
 	return res, err
 }

@@ -140,6 +140,21 @@ func (s *Store) Has(key string) bool {
 	return err == nil
 }
 
+// ObjectSize returns the encoded size in bytes of the object stored
+// under key, without decoding it or refreshing GC recency — one stat
+// call. The journal's store probe uses it for size samples; absence is
+// (0, false), never an error.
+func (s *Store) ObjectSize(key string) (int64, bool) {
+	if !validKey(key) {
+		return 0, false
+	}
+	st, err := os.Stat(s.objectPath(key))
+	if err != nil {
+		return 0, false
+	}
+	return st.Size(), true
+}
+
 // Put persists a result under key. The write is atomic (temp file +
 // rename in the object's shard directory) and idempotent: when the key
 // already holds an object with the same content (the normal case — by
