@@ -41,8 +41,8 @@ func journalShardsTable(procs []*journal.Process) *experiments.Table {
 	t := &experiments.Table{
 		Name:  "journal_shards",
 		Title: "per-process sweep execution (from journals)",
-		Header: []string{"process", "workers", "tasks", "executed", "memory_hits",
-			"store_hits", "errors", "stored", "store_errors", "wall_s", "busy_pct", "complete"},
+		Header: []string{"process", "workers", "tasks", "executed", "snapshot_forks",
+			"memory_hits", "store_hits", "errors", "stored", "store_errors", "wall_s", "busy_pct", "complete"},
 	}
 	var tot journal.TierCounts
 	var totStats runner.Stats
@@ -52,6 +52,7 @@ func journalShardsTable(procs []*journal.Process) *experiments.Table {
 		c := p.Counts()
 		tot.Tasks += c.Tasks
 		tot.Executed += c.Executed
+		tot.SnapshotForks += c.SnapshotForks
 		tot.MemoryHits += c.MemoryHits
 		tot.StoreHits += c.StoreHits
 		tot.Errors += c.Errors
@@ -83,17 +84,19 @@ func journalShardsTable(procs []*journal.Process) *experiments.Table {
 			if p.Summary.StoreDetached {
 				t.Note("%s: store DETACHED mid-sweep (circuit breaker); later results were not persisted", p.Name())
 			}
-			if c.Executed+c.Errors != p.Summary.Runner.Executed ||
+			// The pool's Executed counter includes snapshot forks (their
+			// Run closures ran); the journal breaks forks out by outcome.
+			if c.Executed+c.SnapshotForks+c.Errors != p.Summary.Runner.Executed ||
 				c.MemoryHits+c.StoreHits != p.Summary.Runner.CacheHits {
 				t.Note("%s: counters diverge: task events say %d executed / %d hits, summary says %d / %d",
-					p.Name(), c.Executed+c.Errors, c.MemoryHits+c.StoreHits,
+					p.Name(), c.Executed+c.SnapshotForks+c.Errors, c.MemoryHits+c.StoreHits,
 					p.Summary.Runner.Executed, p.Summary.Runner.CacheHits)
 			}
 		}
-		t.AddRowf(p.Name(), p.Header.Workers, c.Tasks, c.Executed, c.MemoryHits,
-			c.StoreHits, c.Errors, stored, storeErrors, wall, busyPct, done)
+		t.AddRowf(p.Name(), p.Header.Workers, c.Tasks, c.Executed, c.SnapshotForks,
+			c.MemoryHits, c.StoreHits, c.Errors, stored, storeErrors, wall, busyPct, done)
 	}
-	t.AddRowf("TOTAL", "", tot.Tasks, tot.Executed, tot.MemoryHits,
+	t.AddRowf("TOTAL", "", tot.Tasks, tot.Executed, tot.SnapshotForks, tot.MemoryHits,
 		tot.StoreHits, tot.Errors, totStored, totStoreErrors, "", "", "")
 	if complete {
 		t.Note("summary counters across processes: %d submitted, %d completed, %d executed, %d cache hits",

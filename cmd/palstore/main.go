@@ -1,7 +1,11 @@
 // Command palstore inspects and maintains the persistent result store
 // (internal/store) that `palsweep -store` and `palsim -store` populate:
 // the disk tier of the content-addressed result cache, holding one
-// archived *sim.Result per canonical configuration hash.
+// archived *sim.Result per canonical configuration hash — plus, in a
+// sibling versioned tree, the engine snapshots forked sweeps capture
+// (one per shared warmup prefix). ls and info report both kinds side by
+// side; verify re-hashes and re-decodes both; gc applies one policy to
+// both trees.
 //
 // Subcommands:
 //
@@ -106,25 +110,39 @@ func cmdLs(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	if len(infos) == 0 {
+	snapInfos, err := st.SnapshotInfos()
+	if err != nil {
+		fatal(err)
+	}
+	if len(infos)+len(snapInfos) == 0 {
 		fmt.Println("(empty store)")
 		return
 	}
 	now := time.Now()
-	fmt.Printf("%-16s  %10s  %12s  %12s  %s\n", "KEY", "SIZE", "AGE", "LAST-ACCESS", "PAYLOAD")
+	fmt.Printf("%-16s  %-8s  %10s  %12s  %12s  %s\n", "KEY", "KIND", "SIZE", "AGE", "LAST-ACCESS", "DETAIL")
 	var total int64
 	for _, info := range infos {
 		// Peek, not Get: listing must not refresh GC recency.
-		payload := "?"
+		detail := "?"
 		if res, ok, err := st.Peek(info.Key); err == nil && ok {
-			payload = payloadFlags(res)
+			detail = payloadFlags(res)
 		}
-		fmt.Printf("%-16s  %10d  %12s  %12s  %s\n",
-			info.Key[:16], info.Size, age(now, info.Created), age(now, info.LastAccess), payload)
+		fmt.Printf("%-16s  %-8s  %10d  %12s  %12s  %s\n",
+			info.Key[:16], "result", info.Size, age(now, info.Created), age(now, info.LastAccess), detail)
 		total += info.Size
 	}
-	fmt.Printf("%d objects, %.1f MiB (%s, codec %s)\n",
-		len(infos), float64(total)/(1<<20), st.Dir(), export.ResultFormatVersion)
+	for _, info := range snapInfos {
+		detail := "?"
+		if snap, ok, err := st.PeekSnapshot(info.Key); err == nil && ok {
+			detail = snapshotDetail(snap)
+		}
+		fmt.Printf("%-16s  %-8s  %10d  %12s  %12s  %s\n",
+			info.Key[:16], "snapshot", info.Size, age(now, info.Created), age(now, info.LastAccess), detail)
+		total += info.Size
+	}
+	fmt.Printf("%d results + %d snapshots, %.1f MiB (%s, codec %s, snapshot codec %s)\n",
+		len(infos), len(snapInfos), float64(total)/(1<<20), st.Dir(),
+		export.ResultFormatVersion, export.SnapshotFormatVersion)
 }
 
 func cmdInfo(args []string) {
@@ -133,9 +151,13 @@ func cmdInfo(args []string) {
 	if fs.NArg() != 1 {
 		fatal(fmt.Errorf("info wants exactly one KEY argument (a unique prefix is enough)"))
 	}
-	key, err := resolveKey(st, fs.Arg(0))
+	key, kind, err := resolveKey(st, fs.Arg(0))
 	if err != nil {
 		fatal(err)
+	}
+	if kind == "snapshot" {
+		snapshotInfo(st, key)
+		return
 	}
 	info, ok, err := st.Info(key)
 	if err != nil || !ok {
@@ -149,6 +171,7 @@ func cmdInfo(args []string) {
 		fatal(fmt.Errorf("object %s vanished mid-read", key))
 	}
 	fmt.Printf("key          %s\n", key)
+	fmt.Printf("kind         result\n")
 	fmt.Printf("size         %d bytes\n", info.Size)
 	if info.SHA256 != "" {
 		fmt.Printf("sha256       %s\n", info.SHA256)
@@ -191,15 +214,21 @@ func cmdVerify(args []string) {
 	if err != nil {
 		fatal(err)
 	}
+	snapKeys, err := st.SnapshotKeys()
+	if err != nil {
+		fatal(err)
+	}
+	total := n + len(snapKeys)
 	if len(problems) == 0 {
-		fmt.Printf("palstore: ok — %d objects verified (codec %s)\n", n, export.ResultFormatVersion)
+		fmt.Printf("palstore: ok — %d objects verified (%d results, codec %s; %d snapshots, codec %s)\n",
+			total, n, export.ResultFormatVersion, len(snapKeys), export.SnapshotFormatVersion)
 		return
 	}
 	for _, p := range problems {
 		fmt.Fprintf(os.Stderr, "palstore: %s\n", p)
 	}
 	fmt.Fprintf(os.Stderr, "palstore: %d problems in %d objects (gc evicts undamaged-but-stale objects; damaged ones must be deleted and re-simulated)\n",
-		len(problems), n)
+		len(problems), total)
 	os.Exit(1)
 }
 
@@ -308,28 +337,112 @@ func age(now, t time.Time) string {
 	}
 }
 
+// snapshotDetail is the one-line summary of a stored engine snapshot
+// for the ls listing.
+func snapshotDetail(snap *sim.Snapshot) string {
+	if snap.Completed {
+		return "completed sentinel (prefix finished before its horizon)"
+	}
+	return fmt.Sprintf("round %d, %d arrived jobs, sched %s, placer %s",
+		snap.Rounds, len(snap.Jobs), snap.SchedName, snap.PlacerName)
+}
+
+// snapshotInfo renders one snapshot object in detail — the snapshot
+// branch of cmdInfo.
+func snapshotInfo(st *store.Store, key string) {
+	infos, err := st.SnapshotInfos()
+	if err != nil {
+		fatal(err)
+	}
+	var info *store.ObjectInfo
+	for i := range infos {
+		if infos[i].Key == key {
+			info = &infos[i]
+			break
+		}
+	}
+	if info == nil {
+		fatal(fmt.Errorf("snapshot %s vanished mid-read", key))
+	}
+	snap, ok, err := st.PeekSnapshot(key) // inspection must not refresh GC recency
+	if err != nil {
+		fatal(err)
+	}
+	if !ok {
+		fatal(fmt.Errorf("snapshot %s vanished mid-read", key))
+	}
+	fmt.Printf("key          %s\n", key)
+	fmt.Printf("kind         snapshot\n")
+	fmt.Printf("size         %d bytes\n", info.Size)
+	if info.SHA256 != "" {
+		fmt.Printf("sha256       %s\n", info.SHA256)
+	}
+	fmt.Printf("created      %s\n", info.Created.Format(time.RFC3339))
+	fmt.Printf("last access  %s\n", info.LastAccess.Format(time.RFC3339))
+	if snap.Completed {
+		fmt.Printf("state        completed sentinel: the warmup prefix finished before its horizon, so\n")
+		fmt.Printf("             there is no engine state to fork from (cells run from scratch)\n")
+		return
+	}
+	fmt.Printf("horizon      round %d (engine clock %.0f s)\n", snap.Rounds, snap.Now)
+	fmt.Printf("round        %.0f s\n", snap.RoundSec)
+	fmt.Printf("cluster      %d GPUs\n", snap.Topology.Size())
+	running := 0
+	for _, j := range snap.Jobs {
+		if len(j.Alloc) > 0 {
+			running++
+		}
+	}
+	fmt.Printf("jobs         %d arrived (%d allocated), next arrival index %d\n",
+		len(snap.Jobs), running, snap.NextArrival)
+	fmt.Printf("warmup       sched %s, placer %s\n", snap.SchedName, snap.PlacerName)
+	sinks := "-"
+	var flags []string
+	if len(snap.MetricsState) > 0 {
+		flags = append(flags, "metrics")
+	}
+	if len(snap.DecisionsState) > 0 {
+		flags = append(flags, "decisions")
+	}
+	if len(flags) > 0 {
+		sinks = strings.Join(flags, "+")
+	}
+	fmt.Printf("sinks        %s\n", sinks)
+}
+
 // resolveKey expands a (possibly abbreviated) key to a stored one,
-// demanding uniqueness so a short prefix can never silently pick the
-// wrong object.
-func resolveKey(st *store.Store, prefix string) (string, error) {
+// searching results and snapshots alike and demanding uniqueness so a
+// short prefix can never silently pick the wrong object. The returned
+// kind is "result" or "snapshot".
+func resolveKey(st *store.Store, prefix string) (string, string, error) {
 	keys, err := st.Keys()
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
-	var matches []string
+	snapKeys, err := st.SnapshotKeys()
+	if err != nil {
+		return "", "", err
+	}
+	type match struct{ key, kind string }
+	var matches []match
 	for _, k := range keys {
 		if strings.HasPrefix(k, prefix) {
-			matches = append(matches, k)
+			matches = append(matches, match{k, "result"})
+		}
+	}
+	for _, k := range snapKeys {
+		if strings.HasPrefix(k, prefix) {
+			matches = append(matches, match{k, "snapshot"})
 		}
 	}
 	switch len(matches) {
 	case 1:
-		return matches[0], nil
+		return matches[0].key, matches[0].kind, nil
 	case 0:
-		return "", fmt.Errorf("no stored object matches key prefix %q", prefix)
+		return "", "", fmt.Errorf("no stored object matches key prefix %q", prefix)
 	default:
-		return "", fmt.Errorf("key prefix %q is ambiguous (%d matches, e.g. %s and %s)",
-			prefix, len(matches), matches[0][:16], matches[1][:16])
+		return "", "", fmt.Errorf("key prefix %q is ambiguous (%d matches, e.g. %s %s and %s %s)",
+			prefix, len(matches), matches[0].kind, matches[0].key[:16], matches[1].kind, matches[1].key[:16])
 	}
 }
 

@@ -49,6 +49,17 @@
 // "0 simulated", and palreport -grid tabulates whatever cells are
 // present, counting the missing ones.
 //
+// Cells carrying a fork block (scenario `fork`) share their warmup
+// prefixes through a snapshot cache: each distinct prefix — warmup
+// policies, horizon and arrived workload prefix — simulates once, and
+// every other cell of the group forks from the captured engine state
+// at the divergence point. The summary line breaks these out as
+// "snapshot forks" so "simulated" stays the count of full from-scratch
+// runs; -snapshots=false disables sharing (each cell simulates its own
+// prefix — byte-identical results either way). With -store, captured
+// snapshots persist beside results, so shard processes and later
+// sweeps fork straight from disk.
+//
 // With -store, the in-memory result cache is backed by the persistent
 // content-addressed store (internal/store): results computed by any
 // previous palsweep/palsim invocation — or a concurrent one — are
@@ -85,6 +96,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/decision"
@@ -121,6 +133,7 @@ func main() {
 		metricsDir = flag.String("metrics", "", "with -scenario: collect telemetry and archive each scenario's payload (JSON) and series (CSV) into this directory for palreport")
 		decisions  = flag.Bool("decisions", false, "with -scenario: record each scenario's decision trace; with -metrics, traces are archived next to the payloads for palexplain")
 		storeDir   = flag.String("store", "", "persistent result-store directory: a disk cache tier shared across processes, so repeat sweeps execute 0 simulations")
+		snapshots  = flag.Bool("snapshots", true, "with -scenario: share fork-bearing cells' warmup prefixes through the snapshot cache (each prefix simulates once and every cell forks from it); disable to simulate every cell's own prefix")
 		shardFlag  = flag.String("shard", "", "with -scenario and -store: run only shard i/n of the expanded cells (e.g. 0/4); the n processes partition the grid by content hash and meet in the shared store")
 		journalDir = flag.String("journal", "", "append this process's execution journal (task spans, cache-tier outcomes, store latency) into this directory for palreport -journal")
 		cpuProfile = flag.String("cpuprofile", "", "write a Go CPU profile to this file (flushed on clean exit)")
@@ -213,11 +226,13 @@ func main() {
 	}
 	cache := runner.NewResultCache(*cacheCap)
 	var storeProbe *journal.BackendProbe
+	var snapBackend runner.SnapshotBackend
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
 			fatal(err)
 		}
+		snapBackend = st
 		var backend runner.Backend = st
 		if *journalDir != "" {
 			// The probe wraps the store so the journal's summary carries
@@ -274,7 +289,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		runScenarioSweep(ctx, pool, paths, *format, *outDir, *metricsDir, *decisions, *quiet, shard, start)
+		var snapCache *runner.SnapshotCache
+		if *snapshots {
+			// The snapshot cache shares fork-bearing cells' warmup
+			// prefixes; with -store, captures persist beside results so
+			// shard processes (and later sweeps) fork from disk.
+			snapCache = runner.NewSnapshotCache(snapBackend)
+		}
+		runScenarioSweep(ctx, pool, snapCache, paths, *format, *outDir, *metricsDir, *decisions, *quiet, shard, start)
 		finish()
 		return
 	}
@@ -372,10 +394,15 @@ func storeWarning(cache *runner.ResultCache) {
 // actually executed versus results served from each cache tier, and how
 // many were persisted to the store. A warm-started sweep over an
 // unchanged grid reads "0 simulated" — the signal CI's store smoke test
-// checks for.
+// checks for. Snapshot forks — cells resumed from a shared warmup
+// capture instead of simulated from scratch — are broken out
+// separately, so "simulated" always counts full from-scratch runs.
 func cacheSummary(pool *runner.Pool) string {
 	st := pool.Stats()
-	s := fmt.Sprintf("%d simulated", st.Executed)
+	s := fmt.Sprintf("%d simulated", st.Executed-st.SnapshotForks)
+	if st.SnapshotForks > 0 {
+		s += fmt.Sprintf(", %d snapshot forks", st.SnapshotForks)
+	}
 	cache := pool.Cache()
 	if cache == nil {
 		return s
@@ -555,6 +582,51 @@ func scenarioTable(cells []scenarioCell, results []*sim.Result, metricsDir strin
 	return table, archived, nil
 }
 
+// forkRun builds the Run and Forked hooks for one fork-bearing cell:
+// the cell's prefix snapshot is fetched through the shared snapshot
+// cache — captured at most once per prefix group, across every cell
+// (and, with a store backend, every process) sharing the warmup — and
+// the cell resumes from it under its own policies. Forked reports
+// whether the result genuinely rode a shared capture, which the pool
+// surfaces as the snapshot-fork outcome. Every degraded path falls
+// back to the cell simulating its own prefix (RunForked(nil)), so
+// snapshot sharing can only ever save work, never fail a cell that
+// would have succeeded on its own.
+func forkRun(snapCache *runner.SnapshotCache, b *scenario.Built) (run func() (*sim.Result, error), forked func() bool) {
+	var rode atomic.Bool
+	run = func() (*sim.Result, error) {
+		snap, fromCache, err := snapCache.GetOrCapture(b.PrefixKey(), func() (*sim.Snapshot, error) {
+			s, _, cerr := b.CaptureSnapshot()
+			if cerr != nil {
+				return nil, cerr
+			}
+			if s == nil {
+				// The warmup completed before the horizon: cache the
+				// sentinel so the whole prefix group learns there is no
+				// state to fork from without re-probing.
+				return &sim.Snapshot{Completed: true}, nil
+			}
+			return s, nil
+		})
+		if err != nil || snap == nil || snap.Completed {
+			// Capture failure or early completion: the cell runs on its
+			// own (a deterministic capture error resurfaces per cell).
+			return b.RunForked(nil)
+		}
+		res, rerr := b.ResumeFrom(snap)
+		if rerr != nil && fromCache {
+			// A shared (possibly store-loaded) snapshot that fails to
+			// resume must not fail the cell — simulate its own prefix.
+			return b.RunForked(nil)
+		}
+		if rerr == nil {
+			rode.Store(fromCache)
+		}
+		return res, rerr
+	}
+	return run, rode.Load
+}
+
 // runScenarioSweep fans declarative scenario specs — grid specs
 // expanded into their cells first — out over the worker pool, each
 // keyed by its canonical content hash so duplicate or previously-run
@@ -562,8 +634,9 @@ func scenarioTable(cells []scenarioCell, results []*sim.Result, metricsDir strin
 // with a row per cell. With metricsDir set, every spec's telemetry
 // block is force-enabled and the collected payloads are archived there
 // for palreport. With a shard selector, only this shard's slice of the
-// expanded cells runs.
-func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, format, outDir, metricsDir string, decisions, quiet bool, shard shardSpec, start time.Time) {
+// expanded cells runs. snapCache, when non-nil, routes fork-bearing
+// cells through the shared snapshot cache (-snapshots).
+func runScenarioSweep(ctx context.Context, pool *runner.Pool, snapCache *runner.SnapshotCache, paths []string, format, outDir, metricsDir string, decisions, quiet bool, shard shardSpec, start time.Time) {
 	cells, err := loadScenarioCells(paths, metricsDir != "", decisions)
 	if err != nil {
 		fatal(err)
@@ -576,8 +649,15 @@ func runScenarioSweep(ctx context.Context, pool *runner.Pool, paths []string, fo
 	sweep := runner.NewSweep(pool)
 	for _, c := range cells {
 		run := c.built // capture per iteration for the task closure
-		sweep.Add(run.Key(), fmt.Sprintf("scenario %s (%s)", run.Spec.Name, c.path),
-			func() (*sim.Result, error) { return run.Run() })
+		t := runner.Task{
+			Key:   run.Key(),
+			Label: fmt.Sprintf("scenario %s (%s)", run.Spec.Name, c.path),
+			Run:   func() (*sim.Result, error) { return run.Run() },
+		}
+		if snapCache != nil && run.Forked() {
+			t.Run, t.Forked = forkRun(snapCache, run)
+		}
+		sweep.AddTask(t)
 	}
 	results, err := sweep.Run(ctx)
 	if err != nil {

@@ -1,0 +1,81 @@
+package decision
+
+// Mid-run snapshot state for the engine's snapshot/fork machinery
+// (sim.SnapshotState). The record ring is linearized on capture and
+// re-seated at offset zero on restore; the merge state (the newest
+// record's running-set IDs and waiting count) rides along so the first
+// resumed observation coalesces exactly as it would have mid-run —
+// which is what keeps a resumed trace byte-identical to the
+// straight-through one.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// recorderState is the JSON shape of a recorder's mid-run state.
+type recorderState struct {
+	Rounds      int64    `json:"rounds"`
+	RoundSec    float64  `json:"round_sec"`
+	TimeBase    float64  `json:"time_base"`
+	HaveBase    bool     `json:"have_base"`
+	Records     []Record `json:"records,omitempty"`
+	Dropped     int64    `json:"dropped,omitempty"`
+	LastIDs     []int    `json:"last_ids,omitempty"`
+	LastWaiting int      `json:"last_waiting"`
+	HaveLast    bool     `json:"have_last"`
+}
+
+// MarshalSnapshotState implements sim.SnapshotState.
+func (r *Recorder) MarshalSnapshotState() ([]byte, error) {
+	if r.trace != nil {
+		return nil, fmt.Errorf("decision: cannot snapshot a finished recorder")
+	}
+	st := recorderState{
+		Rounds:      r.rounds,
+		RoundSec:    r.roundSec,
+		TimeBase:    r.timeBase,
+		HaveBase:    r.haveBase,
+		Dropped:     r.dropped,
+		LastWaiting: r.lastWaiting,
+		HaveLast:    r.haveLast,
+	}
+	if r.count > 0 {
+		st.Records = make([]Record, 0, r.count)
+		for i := 0; i < r.count; i++ {
+			st.Records = append(st.Records, r.recs[(r.start+i)%len(r.recs)])
+		}
+	}
+	if r.haveLast {
+		st.LastIDs = append([]int{}, r.lastIDs...)
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalSnapshotState implements sim.SnapshotState. The receiver must
+// be a fresh recorder with a ring bound no smaller than the captured
+// record count.
+func (r *Recorder) UnmarshalSnapshotState(data []byte) error {
+	if r.trace != nil || r.rounds != 0 || r.count != 0 || r.haveBase {
+		return fmt.Errorf("decision: snapshot state restored into a non-fresh recorder")
+	}
+	var st recorderState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("decision: decode snapshot state: %w", err)
+	}
+	if len(st.Records) > r.cfg.MaxRecords {
+		return fmt.Errorf("decision: snapshot holds %d records, resumed ring bound is %d", len(st.Records), r.cfg.MaxRecords)
+	}
+	r.recs = append(r.recs[:0], st.Records...)
+	r.start = 0
+	r.count = len(st.Records)
+	r.dropped = st.Dropped
+	r.rounds = st.Rounds
+	r.roundSec = st.RoundSec
+	r.timeBase = st.TimeBase
+	r.haveBase = st.HaveBase
+	r.lastIDs = append(r.lastIDs[:0], st.LastIDs...)
+	r.lastWaiting = st.LastWaiting
+	r.haveLast = st.HaveLast
+	return nil
+}

@@ -34,8 +34,11 @@ func (p *Process) Name() string {
 }
 
 // TierCounts are per-outcome task totals counted from the task events.
+// SnapshotForks counts executed tasks that resumed a shared engine
+// snapshot instead of simulating their warmup prefix; Executed counts
+// only full from-scratch simulations.
 type TierCounts struct {
-	Tasks, Executed, MemoryHits, StoreHits, Errors int64
+	Tasks, Executed, SnapshotForks, MemoryHits, StoreHits, Errors int64
 }
 
 // Counts tallies the process's task events by outcome.
@@ -46,6 +49,8 @@ func (p *Process) Counts() TierCounts {
 		switch t.Outcome {
 		case "executed":
 			c.Executed++
+		case "snapshot-fork":
+			c.SnapshotForks++
 		case "memory-hit":
 			c.MemoryHits++
 		case "store-hit":

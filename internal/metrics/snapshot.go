@@ -1,0 +1,94 @@
+package metrics
+
+// Mid-run snapshot state for the engine's snapshot/fork machinery
+// (sim.SnapshotState). A collector captured at a horizon and restored
+// into a fresh collector continues producing a payload byte-identical
+// to one that observed the whole run — the ring buffers are linearized
+// on capture and re-seated at ring offset zero on restore, which is
+// observationally identical because Samples() and Dropped() are
+// position-invariant.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// collectorState is the JSON shape of a collector's mid-run state.
+type collectorState struct {
+	Round    int64         `json:"round"`
+	TimeBase float64       `json:"time_base"`
+	RoundSec float64       `json:"round_sec"`
+	HaveBase bool          `json:"have_base"`
+	Series   []seriesState `json:"series,omitempty"`
+}
+
+type seriesState struct {
+	Name    string    `json:"name"`
+	Rounds  []int64   `json:"rounds,omitempty"`
+	Values  []float64 `json:"values,omitempty"`
+	Dropped int64     `json:"dropped,omitempty"`
+}
+
+// MarshalSnapshotState implements sim.SnapshotState.
+func (c *Collector) MarshalSnapshotState() ([]byte, error) {
+	if c.finals != nil {
+		return nil, fmt.Errorf("metrics: cannot snapshot a finished collector")
+	}
+	st := collectorState{
+		Round:    c.round,
+		TimeBase: c.timeBase,
+		RoundSec: c.roundSec,
+		HaveBase: c.haveBase,
+	}
+	for _, s := range c.series {
+		rounds, values := s.Samples()
+		st.Series = append(st.Series, seriesState{
+			Name:    s.name,
+			Rounds:  rounds,
+			Values:  values,
+			Dropped: s.dropped,
+		})
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalSnapshotState implements sim.SnapshotState. The receiver must
+// be a fresh collector; its enabled series are matched by name against
+// the captured ones (a resumed series with no captured counterpart is an
+// error — its payload would silently miss the prefix; captured series
+// the resumed configuration does not enable are dropped).
+func (c *Collector) UnmarshalSnapshotState(data []byte) error {
+	if c.finals != nil || c.round != 0 || c.haveBase {
+		return fmt.Errorf("metrics: snapshot state restored into a non-fresh collector")
+	}
+	var st collectorState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("metrics: decode snapshot state: %w", err)
+	}
+	byName := make(map[string]*seriesState, len(st.Series))
+	for i := range st.Series {
+		byName[st.Series[i].Name] = &st.Series[i]
+	}
+	for _, s := range c.series {
+		src, ok := byName[s.name]
+		if !ok {
+			return fmt.Errorf("metrics: snapshot state has no samples for enabled series %q", s.name)
+		}
+		if len(src.Rounds) != len(src.Values) {
+			return fmt.Errorf("metrics: snapshot series %q has %d rounds but %d values", s.name, len(src.Rounds), len(src.Values))
+		}
+		if len(src.Rounds) > s.rings {
+			return fmt.Errorf("metrics: snapshot series %q holds %d samples, resumed ring capacity is %d", s.name, len(src.Rounds), s.rings)
+		}
+		s.idx = append(s.idx[:0], src.Rounds...)
+		s.val = append(s.val[:0], src.Values...)
+		s.start = 0
+		s.count = len(src.Rounds)
+		s.dropped = src.Dropped
+	}
+	c.round = st.Round
+	c.timeBase = st.TimeBase
+	c.roundSec = st.RoundSec
+	c.haveBase = st.HaveBase
+	return nil
+}

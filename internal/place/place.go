@@ -20,7 +20,7 @@
 package place
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/rng"
@@ -32,8 +32,9 @@ import (
 // any node's free capacity take the fullest-free nodes first, minimizing
 // the number of nodes spanned.
 type Packed struct {
-	sticky bool
-	rng    *rng.RNG
+	sticky  bool
+	rng     *rng.RNG
+	scratch packScratch
 }
 
 // NewPacked returns a Packed placer with the given stickiness.
@@ -58,7 +59,7 @@ func (p *Packed) Sticky() bool { return p.sticky }
 func (p *Packed) PlaceRound(c *cluster.Cluster, need []*sim.Job, _ float64) map[int][]cluster.GPUID {
 	out := make(map[int][]cluster.GPUID, len(need))
 	for _, j := range need {
-		alloc := PackJob(c, j.Spec.Demand, p.rng)
+		alloc := p.scratch.packJob(c, j.Spec.Demand, p.rng)
 		c.Allocate(j.Spec.ID, alloc)
 		out[j.Spec.ID] = alloc
 	}
@@ -70,28 +71,46 @@ func (p *Packed) PlaceRound(c *cluster.Cluster, need []*sim.Job, _ float64) map[
 	return out
 }
 
+// nodeFree pairs a node with its free-GPU count for the packing walks.
+type nodeFree struct {
+	node cluster.NodeID
+	free int
+}
+
+// packScratch holds the reusable buffers the packing walk scans into, so
+// a placer's steady-state rounds allocate only the returned allocation
+// slices (which the engine retains — those must stay fresh).
+type packScratch struct {
+	nodes []nodeFree
+	tied  []cluster.NodeID
+	free  []cluster.GPUID
+}
+
 // PackJob computes a packed allocation of demand GPUs from the cluster's
 // current free state, querying only the read-only occupancy view (the
 // per-node free counts are O(1) index lookups). r breaks ties between
 // equally-attractive nodes and picks which free GPUs of the chosen node
 // to use; pass nil for fully deterministic (lowest-ID) behavior.
 func PackJob(c cluster.View, demand int, r *rng.RNG) []cluster.GPUID {
-	type nodeFree struct {
-		node cluster.NodeID
-		free int
-	}
-	nodes := make([]nodeFree, 0, c.NumNodes())
+	var s packScratch
+	return s.packJob(c, demand, r)
+}
+
+// packJob is PackJob over reusable scratch buffers.
+func (s *packScratch) packJob(c cluster.View, demand int, r *rng.RNG) []cluster.GPUID {
+	nodes := s.nodes[:0]
 	for n := 0; n < c.NumNodes(); n++ {
 		if f := c.FreeOnNode(cluster.NodeID(n)); f > 0 {
 			nodes = append(nodes, nodeFree{node: cluster.NodeID(n), free: f})
 		}
 	}
+	s.nodes = nodes
 
 	if demand <= c.GPUsPerNode() {
 		// Best fit: the smallest sufficient free count; collect all nodes
 		// tied at that count and let the RNG pick one.
 		bestFree := -1
-		var tied []cluster.NodeID
+		tied := s.tied[:0]
 		for _, nf := range nodes {
 			if nf.free < demand {
 				continue
@@ -105,23 +124,23 @@ func PackJob(c cluster.View, demand int, r *rng.RNG) []cluster.GPUID {
 				tied = append(tied, nf.node)
 			}
 		}
+		s.tied = tied
 		if len(tied) > 0 {
 			pick := tied[0]
 			if r != nil && len(tied) > 1 {
 				pick = tied[r.Intn(len(tied))]
 			}
-			return takeFromNode(c, pick, demand, r)
+			return s.appendFromNode(make([]cluster.GPUID, 0, demand), c, pick, demand, r)
 		}
 	}
 
 	// Spill across nodes: fullest-free nodes first to minimize the span;
-	// ties between equally-full nodes are randomized.
+	// ties between equally-full nodes are randomized (the shuffle before
+	// the stable sort).
 	if r != nil {
 		r.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
 	}
-	sort.SliceStable(nodes, func(a, b int) bool {
-		return nodes[a].free > nodes[b].free
-	})
+	slices.SortStableFunc(nodes, func(a, b nodeFree) int { return b.free - a.free })
 	alloc := make([]cluster.GPUID, 0, demand)
 	for _, nf := range nodes {
 		if len(alloc) == demand {
@@ -131,27 +150,28 @@ func PackJob(c cluster.View, demand int, r *rng.RNG) []cluster.GPUID {
 		if take > nf.free {
 			take = nf.free
 		}
-		alloc = append(alloc, takeFromNode(c, nf.node, take, r)...)
+		alloc = s.appendFromNode(alloc, c, nf.node, take, r)
 	}
 	return alloc
 }
 
-// takeFromNode returns n free GPUs on the node: a random subset when r is
-// non-nil, else the lowest IDs.
-func takeFromNode(c cluster.View, node cluster.NodeID, n int, r *rng.RNG) []cluster.GPUID {
-	free := make([]cluster.GPUID, 0, c.GPUsPerNode())
+// appendFromNode appends up to n free GPUs on the node to dst: a random
+// subset when r is non-nil, else the lowest IDs.
+func (s *packScratch) appendFromNode(dst []cluster.GPUID, c cluster.View, node cluster.NodeID, n int, r *rng.RNG) []cluster.GPUID {
+	free := s.free[:0]
 	for _, g := range c.GPUsOnNode(node) {
 		if c.IsFree(g) {
 			free = append(free, g)
 		}
 	}
+	s.free = free
 	if r != nil {
 		r.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
 	}
 	if n > len(free) {
 		n = len(free)
 	}
-	return append([]cluster.GPUID(nil), free[:n]...)
+	return append(dst, free[:n]...)
 }
 
 // Random is the scattered placement policy: each job receives a uniform

@@ -1,0 +1,48 @@
+package place
+
+// Snapshot state for the rng-bearing placers (sim.SnapshotState). The
+// only mutable cross-round state either policy holds is its tie-breaking
+// generator's stream position, so the state is just that cursor
+// (rng.RNG.State/Restore); a restored placer re-rolls exactly the draws
+// the straight-through run would have. The stickiness flag is part of
+// the policy's identity (its registry name), not its state.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// placerState is the JSON shape of an rng-bearing placer's state.
+type placerState struct {
+	RNG uint64 `json:"rng"`
+}
+
+// MarshalSnapshotState implements sim.SnapshotState.
+func (p *Packed) MarshalSnapshotState() ([]byte, error) {
+	return json.Marshal(placerState{RNG: p.rng.State()})
+}
+
+// UnmarshalSnapshotState implements sim.SnapshotState.
+func (p *Packed) UnmarshalSnapshotState(data []byte) error {
+	var st placerState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("place: decode packed snapshot state: %w", err)
+	}
+	p.rng.Restore(st.RNG)
+	return nil
+}
+
+// MarshalSnapshotState implements sim.SnapshotState.
+func (r *Random) MarshalSnapshotState() ([]byte, error) {
+	return json.Marshal(placerState{RNG: r.rng.State()})
+}
+
+// UnmarshalSnapshotState implements sim.SnapshotState.
+func (r *Random) UnmarshalSnapshotState(data []byte) error {
+	var st placerState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("place: decode random snapshot state: %w", err)
+	}
+	r.rng.Restore(st.RNG)
+	return nil
+}

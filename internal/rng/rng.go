@@ -39,6 +39,16 @@ func (r *RNG) Split(label uint64) *RNG {
 	return &RNG{state: z ^ (z >> 31)}
 }
 
+// State returns the generator's current stream position. Together with
+// Restore it lets engine snapshots round-trip a generator exactly: a
+// generator restored from a captured state produces the same sequence
+// the original would have from that point on.
+func (r *RNG) State() uint64 { return r.state }
+
+// Restore rewinds (or advances) the generator to a stream position
+// previously captured with State.
+func (r *RNG) Restore(state uint64) { r.state = state }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

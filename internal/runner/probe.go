@@ -16,6 +16,12 @@ const (
 	OutcomeMemoryHit TaskOutcome = "memory-hit"
 	// OutcomeStoreHit marks a task served by the persistent backend tier.
 	OutcomeStoreHit TaskOutcome = "store-hit"
+	// OutcomeSnapshotFork marks an executed task that resumed a shared
+	// engine snapshot instead of simulating its warmup prefix from
+	// scratch (Task.Forked reported true). Broken out from
+	// OutcomeExecuted so a sweep's "simulated" count stays the number of
+	// full from-scratch simulations.
+	OutcomeSnapshotFork TaskOutcome = "snapshot-fork"
 	// OutcomeError marks a task that returned an error, whichever path
 	// produced it.
 	OutcomeError TaskOutcome = "error"

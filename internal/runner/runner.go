@@ -49,6 +49,13 @@ type Task struct {
 	// Run executes the simulation. It must be safe to call from any
 	// goroutine and must not retain references to mutable shared state.
 	Run func() (*sim.Result, error)
+	// Forked, when non-nil, is consulted after Run returns: true means
+	// the result was produced by resuming a shared engine snapshot
+	// rather than simulating from scratch, and the task's outcome is
+	// reported as OutcomeSnapshotFork instead of OutcomeExecuted. It is
+	// called on the same goroutine that called Run, immediately after
+	// it.
+	Forked func() bool
 }
 
 // PanicError wraps a panic recovered from a task so one faulty run
@@ -74,6 +81,11 @@ type Stats struct {
 	// truly performed, as opposed to results served from the memory or
 	// store tier. A fully warm-started sweep reports Executed == 0.
 	Executed int64
+	// SnapshotForks counts the subset of Executed whose Run resumed a
+	// shared engine snapshot instead of simulating its warmup prefix
+	// (Task.Forked reported true), so Executed - SnapshotForks is the
+	// number of full from-scratch simulations.
+	SnapshotForks int64
 }
 
 // Pool executes tasks with bounded concurrency. The bound is
@@ -97,6 +109,7 @@ type Pool struct {
 	completed atomic.Int64
 	cacheHits atomic.Int64
 	executed  atomic.Int64
+	forked    atomic.Int64
 }
 
 // NewPool returns a pool running at most workers tasks concurrently.
@@ -118,10 +131,11 @@ func (p *Pool) Cache() *ResultCache { return p.cache }
 // Stats returns a snapshot of the pool's lifetime counters.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		Submitted: p.submitted.Load(),
-		Completed: p.completed.Load(),
-		CacheHits: p.cacheHits.Load(),
-		Executed:  p.executed.Load(),
+		Submitted:     p.submitted.Load(),
+		Completed:     p.completed.Load(),
+		CacheHits:     p.cacheHits.Load(),
+		Executed:      p.executed.Load(),
+		SnapshotForks: p.forked.Load(),
 	}
 }
 
@@ -328,6 +342,13 @@ func (p *Pool) exec(worker int, t Task) (*sim.Result, error) {
 	}
 	if err != nil {
 		outcome = OutcomeError
+	}
+	if outcome == OutcomeExecuted && t.Forked != nil && t.Forked() {
+		// Only a task whose Run closure actually ran can have forked; a
+		// cache hit reports its tier regardless of how the cached result
+		// was originally produced.
+		outcome = OutcomeSnapshotFork
+		p.forked.Add(1)
 	}
 	if probe != nil {
 		probe.ObserveTask(TaskSpan{

@@ -1,0 +1,161 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// SnapshotBackend is the persistent tier behind a SnapshotCache: a
+// durable, cross-process store of engine snapshots (internal/store is
+// the implementation; the interface lives here so the dependency arrow
+// keeps pointing downward, exactly like Backend for results). Get
+// returns (snapshot, found, error); a lookup error is NOT a miss — the
+// cache degrades to capturing. Implementations must be safe for
+// concurrent use; snapshots handed over are shared and read-only.
+type SnapshotBackend interface {
+	GetSnapshot(key string) (*sim.Snapshot, bool, error)
+	PutSnapshot(key string, snap *sim.Snapshot) error
+}
+
+// SnapshotCache deduplicates prefix captures across the cells of a
+// sweep: all cells sharing one prefix key (scenario.Built.PrefixKey)
+// get one capture — concurrent callers wait on the single in-flight
+// computation — and, with a backend attached, captures persist across
+// processes. Snapshots are never evicted within a process: a sweep
+// touches one snapshot per prefix group and groups are few; the
+// persistent tier is bounded by the store's GC like any other object.
+//
+// A backend failure never fails a caller: lookups degrade to
+// capturing, write-throughs are dropped, and both are counted in
+// Stats().StoreErrors.
+type SnapshotCache struct {
+	mu       sync.Mutex
+	snaps    map[string]*sim.Snapshot
+	inflight map[string]*snapFlight
+	backend  SnapshotBackend
+
+	captured    int64
+	hits        int64
+	storeHits   int64
+	stored      int64
+	storeErrors int64
+}
+
+// snapFlight tracks one in-progress capture so duplicate prefix keys
+// wait for it instead of re-simulating the prefix.
+type snapFlight struct {
+	done chan struct{}
+	snap *sim.Snapshot
+	err  error
+}
+
+// SnapshotCacheStats is a snapshot of the cache's counters.
+type SnapshotCacheStats struct {
+	// Captured counts prefixes this process actually simulated. Hits
+	// counts callers served from memory or another caller's in-flight
+	// capture; StoreHits counts lookups satisfied by the backend.
+	Captured, Hits, StoreHits int64
+	// Stored counts snapshots written through to the backend;
+	// StoreErrors counts backend failures the cache degraded around.
+	Stored, StoreErrors int64
+}
+
+// NewSnapshotCache returns a snapshot cache; backend may be nil for a
+// memory-only cache.
+func NewSnapshotCache(backend SnapshotBackend) *SnapshotCache {
+	return &SnapshotCache{
+		snaps:    make(map[string]*sim.Snapshot),
+		inflight: make(map[string]*snapFlight),
+		backend:  backend,
+	}
+}
+
+// Stats returns the cache's counters.
+func (c *SnapshotCache) Stats() SnapshotCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return SnapshotCacheStats{
+		Captured:    c.captured,
+		Hits:        c.hits,
+		StoreHits:   c.storeHits,
+		Stored:      c.stored,
+		StoreErrors: c.storeErrors,
+	}
+}
+
+// GetOrCapture returns the snapshot for key — from memory, another
+// caller's in-flight capture, or the backend — or runs capture exactly
+// once across concurrent callers and caches (and writes through) the
+// outcome. fromCache reports that this call did NOT perform the
+// capture: the caller resumed shared work, which is what the pool
+// surfaces as a snapshot fork. Errors from capture propagate to every
+// waiter but are never cached, so a failed capture can be retried.
+func (c *SnapshotCache) GetOrCapture(key string, capture func() (*sim.Snapshot, error)) (snap *sim.Snapshot, fromCache bool, err error) {
+	c.mu.Lock()
+	if s, ok := c.snaps[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return s, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		<-f.done
+		return f.snap, true, f.err
+	}
+	f := &snapFlight{done: make(chan struct{})}
+	c.inflight[key] = f
+	backend := c.backend
+	c.mu.Unlock()
+
+	// Liveness must survive a panicking capture: waiters see an error,
+	// the panic keeps propagating to the capturing caller (the pool
+	// converts it to a task error there).
+	returned := false
+	defer func() {
+		if !returned && f.err == nil {
+			f.err = fmt.Errorf("runner: snapshot capture for key %q panicked", key)
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if f.err == nil && f.snap != nil {
+			c.snaps[key] = f.snap
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+
+	if backend != nil {
+		s, ok, berr := backend.GetSnapshot(key)
+		switch {
+		case berr != nil:
+			c.count(&c.storeErrors)
+		case ok:
+			c.count(&c.storeHits)
+			f.snap = s
+			returned = true
+			return s, true, nil
+		}
+	}
+
+	c.count(&c.captured)
+	f.snap, f.err = capture()
+	returned = true
+	if f.err == nil && f.snap != nil && backend != nil {
+		if berr := backend.PutSnapshot(key, f.snap); berr != nil {
+			c.count(&c.storeErrors)
+		} else {
+			c.count(&c.stored)
+		}
+	}
+	return f.snap, false, f.err
+}
+
+// count bumps one counter under the cache mutex.
+func (c *SnapshotCache) count(p *int64) {
+	c.mu.Lock()
+	*p++
+	c.mu.Unlock()
+}

@@ -27,7 +27,13 @@ func NewSweep(pool *Pool) *Sweep {
 // key is the content-addressed identity of the run ("" disables
 // caching); label names the cell in errors and progress output.
 func (s *Sweep) Add(key, label string, run func() (*sim.Result, error)) int {
-	s.tasks = append(s.tasks, Task{Key: key, Label: label, Run: run})
+	return s.AddTask(Task{Key: key, Label: label, Run: run})
+}
+
+// AddTask appends one fully specified task (Add with the extra Task
+// fields — e.g. Forked — available) and returns its index.
+func (s *Sweep) AddTask(t Task) int {
+	s.tasks = append(s.tasks, t)
 	return len(s.tasks) - 1
 }
 

@@ -196,13 +196,7 @@ func (b *Built) Config() (sim.Config, error) {
 	if s.Locality.PerModel {
 		modelLacross = trace.LacrossByModel()
 	}
-	placer, err := place.Build(s.Policy.Name, place.BuildEnv{
-		Scores:       binMemo.Get(b.Profile, func() *vprof.Binned { return vprof.BinProfile(b.Profile) }),
-		Lacross:      s.Locality.Lacross,
-		ModelLacross: modelLacross,
-		Lrack:        s.Locality.Lrack,
-		Seed:         runner.DeriveSeed(s.Seed, "scenario/placer/"+s.Policy.Name),
-	})
+	placer, err := b.buildPlacer(s.Policy.Name)
 	if err != nil {
 		return sim.Config{}, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
@@ -279,8 +273,32 @@ func (b *Built) Config() (sim.Config, error) {
 // checkpoint/restore cost.
 const defaultMigrationPenaltySec = 10
 
-// Run builds a config and executes the simulation once.
+// buildPlacer constructs a placement policy by registry name against
+// the built scenario's profile and locality model, with the placer's
+// RNG stream derived from the spec seed and the policy name — so the
+// spec's own policy and a fork's warmup policy each get the stream they
+// would have gotten as the spec's policy.
+func (b *Built) buildPlacer(name string) (sim.Placer, error) {
+	s := b.Spec
+	var modelLacross map[string]float64
+	if s.Locality.PerModel {
+		modelLacross = trace.LacrossByModel()
+	}
+	return place.Build(name, place.BuildEnv{
+		Scores:       binMemo.Get(b.Profile, func() *vprof.Binned { return vprof.BinProfile(b.Profile) }),
+		Lacross:      s.Locality.Lacross,
+		ModelLacross: modelLacross,
+		Lrack:        s.Locality.Lrack,
+		Seed:         runner.DeriveSeed(s.Seed, "scenario/placer/"+name),
+	})
+}
+
+// Run builds a config and executes the simulation once. A fork-bearing
+// spec runs its warmup-then-switch semantics (RunForked).
 func (b *Built) Run() (*sim.Result, error) {
+	if b.Forked() {
+		return b.RunForked(nil)
+	}
 	cfg, err := b.Config()
 	if err != nil {
 		return nil, err
@@ -341,14 +359,14 @@ func buildAdmission(name string) (sim.Admission, error) {
 // genuinely matches.
 func (b *Built) Key() string {
 	h := runner.NewHash()
-	// v4: the spec grew the grid block and the per-cell defaulting pass
-	// that comes with it (grid bases stay un-normalized; cells normalize
-	// after axis overrides), so the spec-encoding generation is marked
-	// explicitly per the cache-key invariant even though a grid spec
-	// itself never reaches Key. v3 added the decisions block (whose trace
-	// rides on cached results, so a decisions-on run must never alias a
+	// v5: the spec grew the fork block (warmup-then-switch runs; a
+	// forked run must never alias its unforked counterpart). v4 added
+	// the grid block and the per-cell defaulting pass that comes with it
+	// (grid bases stay un-normalized; cells normalize after axis
+	// overrides); v3 added the decisions block (whose trace rides on
+	// cached results, so a decisions-on run must never alias a
 	// decisions-off one); v2 added the metrics block for the same reason.
-	h.String("scenario/v4")
+	h.String("scenario/v5")
 	canon, err := b.Spec.Canonical()
 	if err != nil {
 		// Canonical only fails on a non-serializable spec, which Parse
@@ -357,8 +375,16 @@ func (b *Built) Key() string {
 	}
 	h.String(string(canon))
 	h.String(b.Trace.Name)
-	h.Int(len(b.Trace.Jobs))
-	for _, j := range b.Trace.Jobs {
+	hashJobs(h, b.Trace.Jobs)
+	hashProfile(h, b.Profile)
+	return h.Sum()
+}
+
+// hashJobs folds job specs into a cache key (count plus every field
+// that reaches the simulation).
+func hashJobs(h *runner.Hash, jobs []trace.JobSpec) {
+	h.Int(len(jobs))
+	for _, j := range jobs {
 		h.Int(j.ID)
 		h.String(j.Model)
 		h.Int(int(j.Class))
@@ -366,11 +392,15 @@ func (b *Built) Key() string {
 		h.Int(j.Demand)
 		h.Float64(j.Work)
 	}
-	h.String(b.Profile.Name())
-	h.Int(b.Profile.NumClasses())
-	h.Int(b.Profile.NumGPUs())
-	for c := 0; c < b.Profile.NumClasses(); c++ {
-		h.Floats(b.Profile.ClassScores(vprof.Class(c)))
+}
+
+// hashProfile folds the materialized variability profile's content into
+// a cache key.
+func hashProfile(h *runner.Hash, p *vprof.Profile) {
+	h.String(p.Name())
+	h.Int(p.NumClasses())
+	h.Int(p.NumGPUs())
+	for c := 0; c < p.NumClasses(); c++ {
+		h.Floats(p.ClassScores(vprof.Class(c)))
 	}
-	return h.Sum()
 }

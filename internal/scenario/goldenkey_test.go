@@ -14,7 +14,7 @@ import (
 // spec, a generator, or the key encoding: bump the version tag in
 // Built.Key (per the cache-key invariant) and update the constant below
 // in the same commit.
-const goldenSpecKey = "9259dea90ff87395a9383610dc9a2be04aff24b3126d953a6b133d2a922df9df"
+const goldenSpecKey = "ccea10af4bea3297c58096f9971edb1bc8a14d6f4e64481742053ceb40eef1f7"
 
 func TestGoldenScenarioKey(t *testing.T) {
 	spec, err := LoadFile("../../examples/scenario/spec.json")
@@ -41,6 +41,19 @@ func TestGoldenScenarioKey(t *testing.T) {
 	}
 	if b2.Key() == goldenSpecKey {
 		t.Error("decisions block does not feed the cache key (stale-cache hazard)")
+	}
+
+	// Likewise the fork block: a forked run must never alias its
+	// unforked counterpart's cached result.
+	spec.Decisions = DecisionsSpec{}
+	spec.Fork = &ForkSpec{Rounds: 10}
+	spec.Normalize()
+	b3, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b3.Key() == goldenSpecKey {
+		t.Error("fork block does not feed the cache key (stale-cache hazard)")
 	}
 }
 

@@ -292,5 +292,9 @@ func (s *Spec) clone() *Spec {
 	c.Workload.DemandWeights = append([]float64(nil), s.Workload.DemandWeights...)
 	c.Metrics.Series = append([]string(nil), s.Metrics.Series...)
 	c.Decisions.Record = append([]string(nil), s.Decisions.Record...)
+	if s.Fork != nil {
+		f := *s.Fork
+		c.Fork = &f
+	}
 	return &c
 }

@@ -63,6 +63,13 @@ type Spec struct {
 	Engine    EngineSpec    `json:"engine"`
 	Metrics   MetricsSpec   `json:"metrics"`
 	Decisions DecisionsSpec `json:"decisions"`
+	// Fork, when present, makes the run a warmup-then-switch experiment:
+	// the engine runs under the fork's warmup policies until the horizon
+	// round, snapshots there, and continues under the spec's own
+	// policies. Cells of one sweep that share a warmup prefix share the
+	// snapshot (see Built.PrefixKey) — the sweep simulates the prefix
+	// once and forks every cell from it.
+	Fork *ForkSpec `json:"fork,omitempty"`
 	// Grid, when present, turns the spec into a cross-product generator:
 	// ExpandGrid yields one ordinary per-cell spec per combination of the
 	// listed axis values. Grid-bearing specs cannot Build directly.
@@ -218,6 +225,27 @@ type DecisionsSpec struct {
 	// the list, so spec files naming the same set in any order
 	// canonicalize — and cache-key — identically.
 	Record []string `json:"record,omitempty"`
+}
+
+// ForkSpec configures the warmup-then-switch fork: the run proceeds
+// under the warmup policies up to (but not including) the horizon
+// round, the engine state is captured there, and the run resumes under
+// the spec's own policy and sched. Leaving Policy/Sched empty selects
+// the spec's own — a pure prefix-caching fork whose result is
+// byte-identical to the unforked run.
+type ForkSpec struct {
+	// Rounds is the horizon: the scheduling round at which the run
+	// switches from the warmup policies to the spec's own. The capture
+	// happens at the top of this round, before its admissions.
+	Rounds int `json:"rounds"`
+	// Policy names the warmup placement policy (a registry name from
+	// internal/place). Empty selects the spec's own policy.
+	Policy string `json:"policy,omitempty"`
+	// Sched names the warmup scheduling policy (a registry name from
+	// internal/sched, built with default parameters unless it equals the
+	// spec's own sched, which keeps the spec's params). Empty selects
+	// the spec's own sched.
+	Sched string `json:"sched,omitempty"`
 }
 
 // Parse decodes, normalizes and validates a scenario spec. Unknown
@@ -387,6 +415,17 @@ func (s *Spec) normalize() {
 		}
 		s.Decisions.Record = sortDedup(s.Decisions.Record)
 	}
+	if s.Fork != nil {
+		// A fork naming the spec's own policy/sched canonicalizes to the
+		// empty form ("own"), so the two spellings of the same warmup
+		// configuration share one cache key.
+		if s.Fork.Policy == s.Policy.Name {
+			s.Fork.Policy = ""
+		}
+		if s.Fork.Sched == s.Sched.Name {
+			s.Fork.Sched = ""
+		}
+	}
 }
 
 // sortDedup canonicalizes a name list: sorted, deduplicated, and nil
@@ -487,7 +526,25 @@ func (s *Spec) Validate() error {
 	if err := s.validateMetrics(); err != nil {
 		return err
 	}
-	return s.validateDecisions()
+	if err := s.validateDecisions(); err != nil {
+		return err
+	}
+	return s.validateFork()
+}
+
+// validateFork checks the fork block. Warmup policy names resolve in
+// Build (like the spec's own policy names), where construction can fail
+// anyway.
+func (s *Spec) validateFork() error {
+	f := s.Fork
+	if f == nil {
+		return nil
+	}
+	if f.Rounds < 1 {
+		return fmt.Errorf("scenario %s: fork rounds %d, want >= 1 (the round the run switches policies at)",
+			s.Name, f.Rounds)
+	}
+	return nil
 }
 
 // validateMetrics checks the metrics block.

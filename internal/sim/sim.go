@@ -14,7 +14,7 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/cluster"
@@ -427,6 +427,17 @@ func (r *Result) MultiGPUJCTs() []float64 {
 // per-round re-roll is the behaviour §V-B measures — so they always
 // take the naive path, as does any run with an Observer attached.
 func Run(cfg Config) (*Result, error) {
+	eng, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return eng.run()
+}
+
+// newEngine validates the configuration and assembles a fresh engine
+// with every job at its initial state (the shared front half of Run and
+// Capture).
+func newEngine(cfg Config) (*engine, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Trace == nil || len(cfg.Trace.Jobs) == 0 {
 		return nil, fmt.Errorf("sim: empty trace")
@@ -450,9 +461,7 @@ func Run(cfg Config) (*Result, error) {
 	for i, spec := range cfg.Trace.Jobs {
 		jobs[i] = &Job{Spec: spec, Remaining: spec.Work}
 	}
-
-	eng := &engine{cfg: cfg, cluster: c, jobs: jobs}
-	return eng.run()
+	return &engine{cfg: cfg, cluster: c, jobs: jobs}, nil
 }
 
 // engine holds the per-run mutable state.
@@ -494,7 +503,25 @@ type engine struct {
 	decPlace   []PlacementDecision
 	decPreempt []PreemptionDecision
 	decCeilBuf []float64
+
+	// Snapshot state (see snapshot.go). haltAt, when positive, stops the
+	// run loop at the top of round haltAt so Capture can freeze the
+	// engine; halted reports that the stop fired (with the clocks it
+	// fired at) rather than the run completing. resumed marks an engine
+	// reconstructed by Resume: the run loop then starts from the
+	// restored clocks instead of round 0.
+	haltAt       int
+	halted       bool
+	haltedNow    float64
+	haltedRounds int
+	resumed      bool
+	resumeNow    float64
+	resumeRounds int
 }
+
+// haltsAt reports whether the snapshot horizon stops the run at the top
+// of round r (0 disables halting).
+func (e *engine) haltsAt(r int) bool { return e.haltAt > 0 && r >= e.haltAt }
 
 // observe hands one span to the metrics sink, with the running set
 // canonicalized to job-ID order (see RoundObservation.Running). running
@@ -506,9 +533,7 @@ func (e *engine) observe(start float64, rounds int, running []*Job, waiting int)
 		return
 	}
 	e.obsJobs = append(e.obsJobs[:0], running...)
-	sort.Slice(e.obsJobs, func(i, j int) bool {
-		return e.obsJobs[i].Spec.ID < e.obsJobs[j].Spec.ID
-	})
+	slices.SortFunc(e.obsJobs, func(a, b *Job) int { return a.Spec.ID - b.Spec.ID })
 	if cap(e.obsSds) < len(e.obsJobs) {
 		e.obsSds = make([]float64, len(e.obsJobs))
 	}
@@ -552,8 +577,45 @@ func (e *engine) run() (*Result, error) {
 	remaining := len(e.jobs)
 	truncated := false
 	e.membershipChanged = true
+	if e.resumed {
+		// Resume from a snapshot: the clocks restart at the captured
+		// values (now carries the exact accumulated-float bits, so the
+		// round grid continues bit-identically); start stays the first
+		// arrival, and remaining excludes jobs already finished or
+		// rejected before the horizon.
+		now, rounds = e.resumeNow, e.resumeRounds
+		remaining = 0
+		for _, j := range e.jobs {
+			if !j.Done {
+				remaining++
+			}
+		}
+		// Mid-gap boundary: a snapshot taken inside an idle gap whose next
+		// arrival lands exactly on the restored clock must replay the gap
+		// loop's closing round before admitting — the gap path admits an
+		// on-grid arrival one round after its arrival time, while the
+		// loop's admission phase would admit it immediately. One empty
+		// 1-round span keeps the observation stream identical (sinks
+		// coalesce it into the straight-through run's single gap span).
+		if remaining > 0 && len(e.active) == 0 && e.nextArrival < len(e.jobs) &&
+			e.jobs[e.nextArrival].Spec.Arrival == now {
+			e.observe(now, 1, nil, 0)
+			e.observeDecisionSpan(now, 1, nil, 0)
+			now += cfg.RoundSec
+			rounds++
+		}
+	}
 
 	for remaining > 0 {
+		// Snapshot horizon: freeze the engine at the top of round haltAt,
+		// before this round's admissions — the capture point Resume
+		// re-enters the loop at.
+		if e.haltsAt(rounds) {
+			e.halted = true
+			e.haltedNow, e.haltedRounds = now, rounds
+			return nil, nil
+		}
+
 		// Truncation guard.
 		if rounds >= cfg.MaxRounds {
 			truncated = true
@@ -581,13 +643,17 @@ func (e *engine) run() (*Result, error) {
 				idleStart, idleFrom := now, rounds
 				// Advance in whole rounds to keep the round grid stable
 				// (bailing at MaxRounds so an absurd gap cannot spin past
-				// the cap before the top-of-loop truncation check).
-				for now+cfg.RoundSec <= next && rounds < cfg.MaxRounds {
+				// the cap before the top-of-loop truncation check, and at
+				// the snapshot horizon so a capture lands exactly on its
+				// round).
+				for now+cfg.RoundSec <= next && rounds < cfg.MaxRounds && !e.haltsAt(rounds) {
 					now += cfg.RoundSec
 					rounds++
 				}
-				now += cfg.RoundSec
-				rounds++
+				if !e.haltsAt(rounds) {
+					now += cfg.RoundSec
+					rounds++
+				}
 				// The whole gap is one empty span: nothing runs, nothing
 				// waits (the arriving job is admitted next iteration).
 				e.observe(idleStart, rounds-idleFrom, nil, 0)
@@ -677,20 +743,40 @@ func (e *engine) run() (*Result, error) {
 
 // orderActive produces this round's scheduling order. The reference path
 // calls Scheduler.Order every round. The incremental path — taken when
-// fast-forwarding is enabled, the active set's membership is unchanged
-// since the cached order was built, and the scheduler exposes its strict
-// total order (TotalOrderScheduler) — re-validates the cached order in
-// O(n) and re-sorts in place only when priorities actually crossed.
-// Because the order is total, the maintained sequence is exactly what a
-// fresh Order call would return.
+// fast-forwarding is enabled and the scheduler exposes its strict total
+// order (TotalOrderScheduler) — maintains one reused buffer across
+// rounds: on a membership change it is rebuilt from the active set and
+// sorted from scratch; otherwise the cached order is re-validated in
+// O(n) and re-sorted in place only when priorities actually crossed.
+// Because the order is total (Less never reports two distinct jobs
+// equal), the unstable generic sort is deterministic and the maintained
+// sequence is exactly what a fresh Order call would return — the
+// byte-identity suites compare it against the reference path.
 func (e *engine) orderActive(now float64) ([]*Job, error) {
 	cfg := e.cfg
-	if !cfg.DisableFastForward && !e.membershipChanged && e.ordered != nil {
+	if !cfg.DisableFastForward {
 		if ts, ok := cfg.Sched.(TotalOrderScheduler); ok {
+			cmp := func(a, b *Job) int {
+				if ts.Less(a, b, now) {
+					return -1
+				}
+				if ts.Less(b, a, now) {
+					return 1
+				}
+				return 0
+			}
+			if e.membershipChanged || e.ordered == nil {
+				e.ordered = append(e.ordered[:0], e.active...)
+				e.membershipChanged = false
+				slices.SortFunc(e.ordered, cmp)
+				return e.ordered, nil
+			}
 			ord := e.ordered
-			less := func(i, j int) bool { return ts.Less(ord[i], ord[j], now) }
-			if !sort.SliceIsSorted(ord, less) {
-				sort.Slice(ord, less)
+			for i := 1; i < len(ord); i++ {
+				if ts.Less(ord[i], ord[i-1], now) {
+					slices.SortFunc(ord, cmp)
+					break
+				}
 			}
 			return ord, nil
 		}
@@ -783,7 +869,7 @@ func (e *engine) bulkAdvance(now float64, rounds int) (float64, int) {
 	if e.nextArrival < len(e.jobs) {
 		nextArr = e.jobs[e.nextArrival].Spec.Arrival
 	}
-	if nextArr <= now || rounds >= cfg.MaxRounds {
+	if nextArr <= now || rounds >= cfg.MaxRounds || e.haltsAt(rounds) {
 		return now, rounds
 	}
 
@@ -834,7 +920,7 @@ func (e *engine) bulkAdvance(now float64, rounds int) (float64, int) {
 	}
 
 	spanStart, spanFrom := now, rounds
-	for rounds < cfg.MaxRounds && nextArr > now {
+	for rounds < cfg.MaxRounds && nextArr > now && !e.haltsAt(rounds) {
 		repeats := true
 		for i, j := range running {
 			if j.Remaining*sds[i] <= round {

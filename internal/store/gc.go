@@ -42,6 +42,36 @@ func (s *Store) GC(p GCPolicy) (GCReport, error) {
 	if now.IsZero() {
 		now = time.Now()
 	}
+	report, err := s.gcTree(p, now)
+	if err != nil {
+		return report, err
+	}
+	// Snapshots share the policy and the root: reclaim trees orphaned by
+	// a snapshot-codec bump, then compact the live snapshot tree exactly
+	// like the result tree.
+	report = addReports(report, s.sweepOrphanedSnapVersions())
+	if s.hasSnapTree() {
+		snapReport, err := s.snapTree().gcTree(p, now)
+		report = addReports(report, snapReport)
+		if err != nil {
+			return report, err
+		}
+	}
+	return report, nil
+}
+
+// addReports merges two compaction summaries.
+func addReports(a, b GCReport) GCReport {
+	return GCReport{
+		Kept:       a.Kept + b.Kept,
+		Removed:    a.Removed + b.Removed,
+		KeptBytes:  a.KeptBytes + b.KeptBytes,
+		FreedBytes: a.FreedBytes + b.FreedBytes,
+	}
+}
+
+// gcTree compacts one object tree under its exclusive lock.
+func (s *Store) gcTree(p GCPolicy, now time.Time) (GCReport, error) {
 	l, err := s.acquire(true)
 	if err != nil {
 		return GCReport{}, err

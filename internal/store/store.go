@@ -54,6 +54,25 @@ type Store struct {
 	objects string // dir/objects
 	index   string // dir/index.jsonl
 	lock    string // dir/lock
+
+	// snap is the sibling sub-store holding engine snapshots at
+	// root/snap-<snapshot codec version> (see snapshot.go). Its tree is
+	// created lazily on the first PutSnapshot; nil on a snap handle
+	// itself.
+	snap *Store
+}
+
+// treeAt returns a store handle rooted at root whose versioned tree is
+// root/<version>.
+func treeAt(root, version string) *Store {
+	dir := filepath.Join(root, version)
+	return &Store{
+		root:    root,
+		dir:     dir,
+		objects: filepath.Join(dir, "objects"),
+		index:   filepath.Join(dir, "index.jsonl"),
+		lock:    filepath.Join(dir, "lock"),
+	}
 }
 
 // Open creates (if needed) and opens the store rooted at dir. The
@@ -64,10 +83,8 @@ func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
 	}
-	s := &Store{root: dir, dir: filepath.Join(dir, export.ResultFormatVersion)}
-	s.objects = filepath.Join(s.dir, "objects")
-	s.index = filepath.Join(s.dir, "index.jsonl")
-	s.lock = filepath.Join(s.dir, "lock")
+	s := treeAt(dir, export.ResultFormatVersion)
+	s.snap = treeAt(dir, snapVersionDir)
 	if err := os.MkdirAll(s.objects, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
@@ -171,8 +188,15 @@ func (s *Store) Put(key string, res *sim.Result) error {
 	if err := export.EncodeResult(&buf, res); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	sum := sha256.Sum256(buf.Bytes())
-	if existing, err := os.ReadFile(s.objectPath(key)); err == nil && bytes.Equal(existing, buf.Bytes()) {
+	return s.putBytes(key, buf.Bytes())
+}
+
+// putBytes is the codec-agnostic body of Put: it publishes already
+// encoded object bytes under key with the atomic-rename and indexing
+// contract documented on Put. The caller has validated the key.
+func (s *Store) putBytes(key string, data []byte) error {
+	sum := sha256.Sum256(data)
+	if existing, err := os.ReadFile(s.objectPath(key)); err == nil && bytes.Equal(existing, data) {
 		// The object is already durable and identical. Normally only a
 		// recency touch is due — but if the index lost this key's put
 		// record (crash between rename and append), re-record the
@@ -183,7 +207,7 @@ func (s *Store) Put(key string, res *sim.Result) error {
 				_ = s.appendIndex(indexRecord{
 					Op:         opPut,
 					Key:        key,
-					Size:       int64(buf.Len()),
+					Size:       int64(len(data)),
 					SHA256:     hex.EncodeToString(sum[:]),
 					UnixNano:   now.UnixNano(),
 					AccessNano: now.UnixNano(),
@@ -215,7 +239,7 @@ func (s *Store) Put(key string, res *sim.Result) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: put %s: %w", key, err)
 	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
+	if _, err := tmp.Write(data); err != nil {
 		return cleanup(err)
 	}
 	// Flush to stable storage before the rename publishes the object, so
@@ -236,7 +260,7 @@ func (s *Store) Put(key string, res *sim.Result) error {
 	rec := indexRecord{
 		Op:         opPut,
 		Key:        key,
-		Size:       int64(buf.Len()),
+		Size:       int64(len(data)),
 		SHA256:     hex.EncodeToString(sum[:]),
 		UnixNano:   now.UnixNano(),
 		AccessNano: now.UnixNano(),

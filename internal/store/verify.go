@@ -12,12 +12,18 @@ import (
 
 // Problem is one verification finding.
 type Problem struct {
-	Key string
-	Msg string
+	// Kind names the object tree the problem is in: "result" or
+	// "snapshot".
+	Kind string
+	Key  string
+	Msg  string
 }
 
 // String renders the problem for CLI output.
 func (p Problem) String() string {
+	if p.Kind != "" {
+		return fmt.Sprintf("%s %s: %s", p.Kind, p.Key, p.Msg)
+	}
 	return fmt.Sprintf("%s: %s", p.Key, p.Msg)
 }
 
@@ -25,9 +31,33 @@ func (p Problem) String() string {
 // bytes must match the content hash recorded at Put time (bit rot,
 // truncation and manual edits all surface here), the archive must
 // decode under the current codec (format tag included), and every
-// indexed object must still exist on disk. It returns the problems
-// found; an empty slice is a clean store.
+// indexed object must still exist on disk. Snapshot objects are audited
+// with the same rigor against the snapshot codec. It returns the
+// problems found; an empty slice is a clean store.
 func (s *Store) Verify() ([]Problem, error) {
+	problems, err := s.verifyTree("result", func(data []byte) error {
+		_, err := export.DecodeResult(bytes.NewReader(data))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.hasSnapTree() {
+		snapProblems, err := s.snapTree().verifyTree("snapshot", func(data []byte) error {
+			_, err := export.DecodeSnapshot(bytes.NewReader(data))
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, snapProblems...)
+	}
+	return problems, nil
+}
+
+// verifyTree audits one object tree under its shared lock, decoding
+// each object with the tree's codec.
+func (s *Store) verifyTree(kind string, decode func([]byte) error) ([]Problem, error) {
 	l, err := s.acquire(false)
 	if err != nil {
 		return nil, err
@@ -49,26 +79,26 @@ func (s *Store) Verify() ([]Problem, error) {
 		onDisk[key] = true
 		data, err := os.ReadFile(s.objectPath(key))
 		if err != nil {
-			problems = append(problems, Problem{Key: key, Msg: fmt.Sprintf("unreadable: %v", err)})
+			problems = append(problems, Problem{Kind: kind, Key: key, Msg: fmt.Sprintf("unreadable: %v", err)})
 			continue
 		}
 		if e := idx[key]; e != nil && e.SHA256 != "" {
 			// Size first: it is free and a mismatch (truncation,
 			// concatenation) makes hashing pointless.
 			if e.Size != int64(len(data)) {
-				problems = append(problems, Problem{Key: key,
+				problems = append(problems, Problem{Kind: kind, Key: key,
 					Msg: fmt.Sprintf("size mismatch: object is %d bytes, index recorded %d", len(data), e.Size)})
 				continue
 			}
 			sum := sha256.Sum256(data)
 			if got := hex.EncodeToString(sum[:]); got != e.SHA256 {
-				problems = append(problems, Problem{Key: key,
+				problems = append(problems, Problem{Kind: kind, Key: key,
 					Msg: fmt.Sprintf("content hash mismatch: object is %s, index recorded %s", got[:16], e.SHA256[:16])})
 				continue
 			}
 		}
-		if _, err := export.DecodeResult(bytes.NewReader(data)); err != nil {
-			problems = append(problems, Problem{Key: key, Msg: fmt.Sprintf("undecodable: %v", err)})
+		if err := decode(data); err != nil {
+			problems = append(problems, Problem{Kind: kind, Key: key, Msg: fmt.Sprintf("undecodable: %v", err)})
 		}
 	}
 	for key, e := range idx {
@@ -76,7 +106,7 @@ func (s *Store) Verify() ([]Problem, error) {
 		// access-only phantom (a touch that raced a GC compaction) is
 		// bookkeeping noise the next compaction clears, not damage.
 		if !onDisk[key] && !e.Created.IsZero() {
-			problems = append(problems, Problem{Key: key, Msg: "indexed object missing from disk (deleted outside gc?)"})
+			problems = append(problems, Problem{Kind: kind, Key: key, Msg: "indexed object missing from disk (deleted outside gc?)"})
 		}
 	}
 	return problems, nil
