@@ -6,14 +6,16 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/journal"
 	"repro/internal/runner"
+	"repro/internal/sim"
 )
 
 // runJournal renders the execution-journal tables from a directory of
 // *.journal.jsonl files — the read side of palsweep/palsim -journal.
 // N shard processes that swept one grid into a shared store each left
 // one journal; here they merge into a cross-shard view: per-process
-// tier hit rates, store-operation latency quantiles, the slowest cells
-// across all shards, and per-worker utilization.
+// tier hit rates, engine stepping-regime engagement, store-operation
+// latency quantiles, the slowest cells across all shards, and
+// per-worker utilization.
 func runJournal(dir string, slowest int, format, outDir string) {
 	procs, err := journal.LoadDir(dir)
 	if err != nil {
@@ -21,6 +23,7 @@ func runJournal(dir string, slowest int, format, outDir string) {
 	}
 	for _, t := range []*experiments.Table{
 		journalShardsTable(procs),
+		journalEngineTable(procs),
 		journalStoreTable(procs),
 		journalSlowestTable(procs, slowest),
 		journalWorkersTable(procs),
@@ -101,6 +104,80 @@ func journalShardsTable(procs []*journal.Process) *experiments.Table {
 	if complete {
 		t.Note("summary counters across processes: %d submitted, %d completed, %d executed, %d cache hits",
 			totStats.Submitted, totStats.Completed, totStats.Executed, totStats.CacheHits)
+	}
+	return t
+}
+
+// journalEngineTable renders the engine-introspection view: per
+// process, how the simulated rounds of its executed tasks split across
+// the four stepping regimes, how often the placement-skip and
+// incremental-ordering fast paths engaged, and what snapshot forks
+// saved — the cross-shard aggregation of sim.Counters. Processes whose
+// journals predate the counters field (or whose runs carried none)
+// render "-" instead of fabricated zeros. Like the shards table, each
+// complete process's summary total is cross-checked against the sum of
+// its task events: a "counters diverge" note is a bug report.
+func journalEngineTable(procs []*journal.Process) *experiments.Table {
+	t := &experiments.Table{
+		Name:  "journal_engine",
+		Title: "engine stepping-regime engagement (from journal counters)",
+		Header: []string{"process", "rounds", "materialized_pct", "idle_gap_pct",
+			"sparse_pct", "dense_pct", "plc_skip_pct", "order_reval",
+			"order_rebuilds", "preempt", "migrate", "resumes", "rounds_saved"},
+	}
+	tot := &sim.Counters{}
+	counted := 0
+	row := func(name string, c *sim.Counters, ok bool) {
+		if !ok {
+			t.AddRowf(name, "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-")
+			return
+		}
+		total := c.TotalRounds()
+		pct := func(n int64) string {
+			if total == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", 100*float64(n)/float64(total))
+		}
+		skip := "-"
+		if gated := c.PlacementsRun + c.PlacementsSkipped; gated > 0 {
+			skip = fmt.Sprintf("%.1f", 100*float64(c.PlacementsSkipped)/float64(gated))
+		}
+		t.AddRowf(name, total, pct(c.MaterializedRounds), pct(c.IdleGapRounds),
+			pct(c.SparseRounds), pct(c.DenseRounds), skip, c.OrderRevalidated,
+			c.OrderRebuilds, c.Preemptions, c.Migrations, c.SnapshotsResumed,
+			c.ResumedRounds)
+	}
+	for _, p := range procs {
+		c, ok := p.EngineCounters()
+		if ok {
+			counted++
+			tot.Add(c)
+			// The summary total is the writer's accumulation over the same
+			// spans the task events record, so the two must agree exactly
+			// whenever both exist (all-int64 structs compare with ==).
+			if p.Summary != nil && p.Summary.Engine != nil {
+				var evSum sim.Counters
+				saw := false
+				for i := range p.Tasks {
+					if tc := p.Tasks[i].Counters; tc != nil {
+						evSum.Add(tc)
+						saw = true
+					}
+				}
+				if saw && evSum != *p.Summary.Engine {
+					t.Note("%s: counters diverge: task events sum to %d rounds, summary says %d",
+						p.Name(), evSum.TotalRounds(), p.Summary.Engine.TotalRounds())
+				}
+			}
+		}
+		row(p.Name(), c, ok)
+	}
+	row("TOTAL", tot, counted > 0)
+	if counted == 0 {
+		t.Note("no engine counters recorded (journals predate the counters field, or every task was a cache hit)")
+	} else if counted < len(procs) {
+		t.Note("%d of %d processes carried no engine counters (rendered \"-\")", len(procs)-counted, len(procs))
 	}
 	return t
 }

@@ -45,7 +45,10 @@
 // `palsweep -journal` and `palsim -journal` append, one per process)
 // and renders the orchestration-layer view: journal_shards (per-process
 // cache-tier hit counts, reconciled against each summary's pool
-// counters), journal_store (store get/put latency quantiles, merged
+// counters), journal_engine (stepping-regime engagement from the
+// engine's introspection counters: regime round mix, fast-path
+// engagement rates, snapshot-fork savings — "-" for pre-counter
+// journals), journal_store (store get/put latency quantiles, merged
 // bin-wise across shards), journal_slowest (the -slowest N stragglers
 // across all processes) and journal_workers (per-slot utilization). It
 // needs no -in; combined with -in, the journal tables render first.

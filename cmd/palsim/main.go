@@ -145,6 +145,7 @@ func main() {
 		RecordEvents:    *events > 0,
 		RecordMetrics:   *metricsDir != "",
 		RecordDecisions: *decisions,
+		Counters:        engineCtrs,
 	}
 	if *perModel {
 		spec.ModelLacross = trace.LacrossByModel()
@@ -186,11 +187,19 @@ var (
 	tally        runner.Stats
 	cacheTally   runner.CacheStats
 	stopProfiles = func() error { return nil }
+	// engineCtrs collects the run's engine introspection counters; both
+	// run paths attach it to their config, throughStore hands it to the
+	// journal for executed outcomes, and finishJournal prints its
+	// summary (a store hit leaves it empty: no engine stepped here).
+	engineCtrs = &sim.Counters{}
 )
 
 // finishJournal closes the journal with the run's summary and flushes
 // any profiles; called on every clean exit path.
 func finishJournal() {
+	if engineCtrs.TotalRounds() > 0 {
+		fmt.Fprintf(os.Stderr, "palsim: %s\n", engineCtrs.Summary())
+	}
 	if jw != nil {
 		ct := cacheTally
 		sum := journal.Summary{Runner: tally, Cache: &ct}
@@ -232,8 +241,13 @@ func throughStore(dir, key, label string, run func() (*sim.Result, error)) *sim.
 			cacheTally.Misses++
 		}
 		if jw != nil {
+			var ctrs *sim.Counters
+			if outcome == runner.OutcomeExecuted {
+				ctrs = engineCtrs
+			}
 			jw.ObserveTask(runner.TaskSpan{Key: key, Label: label, Outcome: outcome,
-				Err: err, Start: start, Duration: time.Since(start), Run: runDur})
+				Err: err, Start: start, Duration: time.Since(start), Run: runDur,
+				Counters: ctrs})
 		}
 	}
 	var backend runner.Backend
@@ -360,6 +374,7 @@ func runScenario(path, dumpTrace string, asJSON bool, events int, utilize bool, 
 		fmt.Fprintf(os.Stderr, "palsim: %v\n", err)
 		os.Exit(2)
 	}
+	built.Counters = engineCtrs
 	if dumpTrace != "" {
 		f, err := os.Create(dumpTrace)
 		if err != nil {

@@ -17,8 +17,9 @@ import (
 
 // runCellsJournaled mirrors runCells with the full -journal wiring:
 // store wrapped by the latency probe, pool observed by a journal
-// writer, and the summary record written on completion — the exact
-// plumbing main() sets up.
+// writer, a fresh engine-counter instance attached per cell, and the
+// summary record written on completion — the exact plumbing main()
+// sets up.
 func runCellsJournaled(tb testing.TB, cells []scenarioCell, st *store.Store, journalDir, shard string) ([]*sim.Result, runner.Stats) {
 	tb.Helper()
 	cache := runner.NewResultCache(0)
@@ -44,7 +45,14 @@ func runCellsJournaled(tb testing.TB, cells []scenarioCell, st *store.Store, jou
 	sweep := runner.NewSweep(pool)
 	for _, c := range cells {
 		run := c.built
-		sweep.Add(run.Key(), run.Spec.Name, func() (*sim.Result, error) { return run.Run() })
+		ctrs := &sim.Counters{}
+		run.Counters = ctrs
+		sweep.AddTask(runner.Task{
+			Key:      run.Key(),
+			Label:    run.Spec.Name,
+			Run:      func() (*sim.Result, error) { return run.Run() },
+			Counters: func() *sim.Counters { return ctrs },
+		})
 	}
 	results, err := sweep.Run(context.Background())
 	if err != nil {
@@ -96,6 +104,10 @@ func TestProbeDoesNotPerturbSweep(t *testing.T) {
 	}
 	journalDir := filepath.Join(dir, "journal")
 	jResults, jStats := runCellsJournaled(t, cells, st, journalDir, "")
+	roundsFor := map[string]int64{}
+	for _, r := range jResults {
+		roundsFor[""] += int64(r.Rounds)
+	}
 	for i, c := range cells {
 		if !bytes.Equal(encodeResult(t, jResults[i]), refByKey[c.built.Key()]) {
 			t.Errorf("cell %s: journaled result differs from unjournaled reference", c.built.Spec.Name)
@@ -123,6 +135,9 @@ func TestProbeDoesNotPerturbSweep(t *testing.T) {
 		}
 		results, stats := runCellsJournaled(t, kept, sst, journalDir, shardName(i, n))
 		shardStats[i] = stats
+		for _, r := range results {
+			roundsFor[shardName(i, n)] += int64(r.Rounds)
+		}
 		for j, c := range kept {
 			if !bytes.Equal(encodeResult(t, results[j]), refByKey[c.built.Key()]) {
 				t.Errorf("shard %d/%d cell %s: journaled result differs from reference", i, n, c.built.Spec.Name)
@@ -168,6 +183,49 @@ func TestProbeDoesNotPerturbSweep(t *testing.T) {
 		if p.Summary.StoreDetached {
 			t.Errorf("%s: store reported detached on a healthy backend", p.Name())
 		}
+
+		// Engine-counter reconciliation (the stepping-engagement table's
+		// raw material): every task here executed, so the journal must
+		// carry counters; the summary total must equal the sum of the
+		// task-event counters; and the process's total stepped rounds
+		// must equal the sum of its results' Rounds exactly — fresh runs,
+		// no snapshot resumes.
+		ec, ok := p.EngineCounters()
+		if !ok || ec == nil {
+			t.Fatalf("%s: journal carries no engine counters", p.Name())
+		}
+		if p.Summary.Engine == nil {
+			t.Fatalf("%s: summary.Engine not filled by the writer", p.Name())
+		}
+		var evSum sim.Counters
+		for i := range p.Tasks {
+			evSum.Add(p.Tasks[i].Counters)
+		}
+		if evSum != *p.Summary.Engine {
+			t.Errorf("%s: summary engine counters %+v diverge from task-event sum %+v",
+				p.Name(), *p.Summary.Engine, evSum)
+		}
+		if got, want := ec.TotalRounds(), roundsFor[p.Header.Shard]; got != want {
+			t.Errorf("%s: engine counters report %d rounds, results report %d",
+				p.Name(), got, want)
+		}
+	}
+
+	// Cross-shard reconciliation: the two shard journals' counters sum to
+	// exactly the unsharded journal's — the same cells stepped the same
+	// rounds whichever process carried them (determinism), which is the
+	// identity the palreport TOTAL row relies on.
+	var shardTotal, unsharded sim.Counters
+	for _, p := range procs {
+		ec, _ := p.EngineCounters()
+		if p.Header.Shard == "" {
+			unsharded = *ec
+		} else {
+			shardTotal.Add(ec)
+		}
+	}
+	if shardTotal != unsharded {
+		t.Errorf("sharded counters %+v do not sum to the unsharded sweep's %+v", shardTotal, unsharded)
 	}
 }
 

@@ -647,12 +647,21 @@ func runScenarioSweep(ctx context.Context, pool *runner.Pool, snapCache *runner.
 	total := len(cells)
 	cells = filterShard(cells, shard)
 	sweep := runner.NewSweep(pool)
-	for _, c := range cells {
+	engineCtrs := make([]*sim.Counters, len(cells))
+	for i, c := range cells {
 		run := c.built // capture per iteration for the task closure
+		// Each cell gets its own engine-counter instance (a Built drives
+		// one task here, so the no-concurrent-runs contract holds); the
+		// runner hands them to the journal probe for executed cells, and
+		// the sweep summary below merges them.
+		ctrs := &sim.Counters{}
+		run.Counters = ctrs
+		engineCtrs[i] = ctrs
 		t := runner.Task{
-			Key:   run.Key(),
-			Label: fmt.Sprintf("scenario %s (%s)", run.Spec.Name, c.path),
-			Run:   func() (*sim.Result, error) { return run.Run() },
+			Key:      run.Key(),
+			Label:    fmt.Sprintf("scenario %s (%s)", run.Spec.Name, c.path),
+			Run:      func() (*sim.Result, error) { return run.Run() },
+			Counters: func() *sim.Counters { return ctrs },
 		}
 		if snapCache != nil && run.Forked() {
 			t.Run, t.Forked = forkRun(snapCache, run)
@@ -681,6 +690,16 @@ func runScenarioSweep(ctx context.Context, pool *runner.Pool, snapCache *runner.
 		}
 		fmt.Fprintf(os.Stderr, "palsweep: %d scenarios, %s, %d workers, %.1fs total\n",
 			len(cells), cacheSummary(pool), pool.Workers(), time.Since(start).Seconds())
+		// Engine summary: cells served from a cache tier contribute zeros
+		// (no engine stepped here), so the line describes this process's
+		// actual simulation work.
+		engineTotal := &sim.Counters{}
+		for _, c := range engineCtrs {
+			engineTotal.Add(c)
+		}
+		if engineTotal.TotalRounds() > 0 {
+			fmt.Fprintf(os.Stderr, "palsweep: %s\n", engineTotal.Summary())
+		}
 		if archived > 0 {
 			fmt.Fprintf(os.Stderr, "palsweep: archived %d metric payloads to %s (aggregate with palreport -in %s)\n",
 				archived, metricsDir, metricsDir)

@@ -111,6 +111,14 @@ type RunSpec struct {
 	// charged when a running job's allocation changes; negative disables
 	// it. Zero selects DefaultMigrationPenaltySec.
 	MigrationPenaltySec float64
+
+	// Counters, when non-nil, receives the engine's introspection
+	// counters (sim.Config.Counters). It is an observation-only
+	// out-param, deliberately excluded from Key(): counter values are
+	// regime-dependent wall-clock-class data that never influence the
+	// Result, so a counter-bearing spec must share its cache entry with
+	// a bare one.
+	Counters *sim.Counters
 }
 
 // DefaultMigrationPenaltySec is the checkpoint/restore cost charged per
@@ -199,6 +207,7 @@ func Run(spec RunSpec) (*sim.Result, error) {
 		RecordEvents:        spec.RecordEvents,
 		RoundSec:            spec.RoundSec,
 		MigrationPenaltySec: migration,
+		Counters:            spec.Counters,
 	}
 	if spec.RecordMetrics {
 		schedName := ""

@@ -64,9 +64,13 @@ func hashTrace(h *runner.Hash, t *trace.Trace) {
 }
 
 // Key returns the canonical content hash of the spec. Every field of
-// RunSpec feeds the digest; extending RunSpec requires extending this
-// function (the version tag below guards against silent drift: bump it
-// whenever the encoding changes).
+// RunSpec that can influence the simulation's outcome feeds the digest;
+// extending RunSpec requires extending this function (the version tag
+// below guards against silent drift: bump it whenever the encoding
+// changes). The one deliberate exception is Counters: an
+// observation-only out-param that never changes the Result, so it must
+// NOT feed the digest — hashing it would needlessly split cache
+// entries between instrumented and bare runs of the same simulation.
 func (s RunSpec) Key() string {
 	h := runner.NewHash()
 	// v3: RecordDecisions joined the encoding (a trace-carrying result

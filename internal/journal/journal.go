@@ -31,6 +31,7 @@ package journal
 
 import (
 	"repro/internal/runner"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -75,6 +76,11 @@ type TaskEvent struct {
 	StartMS int64   `json:"start_ms"`         // wall clock, Unix milliseconds
 	DurMS   float64 `json:"dur_ms"`           // whole task: cache + I/O + run
 	RunMS   float64 `json:"run_ms,omitempty"` // inside the Run closure (0 for hits)
+	// Counters are the engine introspection counters the task's run
+	// populated (runner.TaskSpan.Counters): present only for executed
+	// and snapshot-fork outcomes, and absent entirely in journals
+	// written before the field existed — readers must tolerate nil.
+	Counters *sim.Counters `json:"counters,omitempty"`
 }
 
 // OpStats aggregates one store operation kind (Get or Put): counts and
@@ -125,6 +131,11 @@ type Summary struct {
 	GCRemoved      int      `json:"gc_removed,omitempty"`
 	VerifyProblems int      `json:"verify_problems,omitempty"`
 	Mem            MemStats `json:"mem"`
+	// Engine sums the engine introspection counters across every task
+	// this process executed (Writer.Close fills it from the task events
+	// it observed when the caller leaves it nil). Nil in pre-counter
+	// journals and in processes whose runs carried no counters.
+	Engine *sim.Counters `json:"engine,omitempty"`
 }
 
 // MergeOps folds b into a bin-wise and returns the merged aggregate

@@ -291,11 +291,21 @@ func TestBackendProbePassThrough(t *testing.T) {
 	}
 }
 
-// TestLoadDirEmpty: an empty directory is an explicit error, and a
-// journal directory is created by Create when absent.
+// TestLoadDirEmpty: an empty directory is an explicit error that names
+// the directory and the filename pattern it looked for — "palreport
+// -journal out/" against the wrong directory must say what was
+// searched, not just that nothing was found — and a journal directory
+// is created by Create when absent.
 func TestLoadDirEmpty(t *testing.T) {
-	if _, err := LoadDir(t.TempDir()); err == nil {
-		t.Error("empty directory must error")
+	empty := t.TempDir()
+	_, err := LoadDir(empty)
+	if err == nil {
+		t.Fatal("empty directory must error")
+	}
+	for _, want := range []string{"no journals found", empty, Ext} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("empty-dir error %q does not name %q", err, want)
+		}
 	}
 	nested := filepath.Join(t.TempDir(), "a", "b")
 	w, err := Create(nested, Header{Role: "palsim", Workers: 1})

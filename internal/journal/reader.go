@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/sim"
 )
 
 // Process is one loaded journal: the event stream of one sweep
@@ -60,6 +62,28 @@ func (p *Process) Counts() TierCounts {
 		}
 	}
 	return c
+}
+
+// EngineCounters returns the process's summed engine introspection
+// counters: the summary's Engine total when present, else a sum over
+// the task events (the crashed-process fallback). ok is false when
+// neither exists — a journal written before the counters field, or a
+// sweep whose runs carried no counters — so reports render "-" instead
+// of fabricating zeros.
+func (p *Process) EngineCounters() (*sim.Counters, bool) {
+	if p.Summary != nil && p.Summary.Engine != nil {
+		return p.Summary.Engine, true
+	}
+	var sum *sim.Counters
+	for i := range p.Tasks {
+		if c := p.Tasks[i].Counters; c != nil {
+			if sum == nil {
+				sum = &sim.Counters{}
+			}
+			sum.Add(c)
+		}
+	}
+	return sum, sum != nil
 }
 
 // WallMS returns the process's wall-clock extent in milliseconds: the
@@ -175,7 +199,7 @@ func LoadDir(dir string) ([]*Process, error) {
 		return procs[i].Path < procs[j].Path
 	})
 	if len(procs) == 0 {
-		return nil, fmt.Errorf("journal: no %s files in %s", Ext, dir)
+		return nil, fmt.Errorf("journal: no journals found in %s (looked for *%s files)", dir, Ext)
 	}
 	return procs, nil
 }

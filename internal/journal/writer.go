@@ -24,6 +24,9 @@ type Writer struct {
 	f    *os.File
 	path string
 	err  error // first append failure; later appends are skipped
+	// engine accumulates the task spans' engine counters under mu, so
+	// Close can fill Summary.Engine without the CLI re-summing events.
+	engine *sim.Counters
 }
 
 // Create opens a fresh journal file in dir — named
@@ -86,17 +89,26 @@ func (w *Writer) append(v interface{}) error {
 // task.
 func (w *Writer) ObserveTask(sp runner.TaskSpan) {
 	ev := TaskEvent{
-		Type:    TypeTask,
-		Key:     sp.Key,
-		Label:   sp.Label,
-		Worker:  sp.Worker,
-		Outcome: string(sp.Outcome),
-		StartMS: sp.Start.UnixMilli(),
-		DurMS:   float64(sp.Duration) / float64(time.Millisecond),
-		RunMS:   float64(sp.Run) / float64(time.Millisecond),
+		Type:     TypeTask,
+		Key:      sp.Key,
+		Label:    sp.Label,
+		Worker:   sp.Worker,
+		Outcome:  string(sp.Outcome),
+		StartMS:  sp.Start.UnixMilli(),
+		DurMS:    float64(sp.Duration) / float64(time.Millisecond),
+		RunMS:    float64(sp.Run) / float64(time.Millisecond),
+		Counters: sp.Counters,
 	}
 	if sp.Err != nil {
 		ev.Error = sp.Err.Error()
+	}
+	if sp.Counters != nil {
+		w.mu.Lock()
+		if w.engine == nil {
+			w.engine = &sim.Counters{}
+		}
+		w.engine.Add(sp.Counters)
+		w.mu.Unlock()
 	}
 	_ = w.append(ev) // degraded, surfaced by Close
 }
@@ -107,6 +119,11 @@ func (w *Writer) ObserveTask(sp runner.TaskSpan) {
 func (w *Writer) Close(sum Summary) error {
 	sum.Type = TypeSummary
 	sum.EndMS = time.Now().UnixMilli()
+	if sum.Engine == nil {
+		w.mu.Lock()
+		sum.Engine = w.engine
+		w.mu.Unlock()
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	const mb = 1 << 20

@@ -1,6 +1,10 @@
 package runner
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/sim"
+)
 
 // TaskOutcome classifies how a task's result was obtained: simulated on
 // this process's CPU, served from one of the two cache tiers, or failed.
@@ -48,6 +52,12 @@ type TaskSpan struct {
 	Start    time.Time
 	Duration time.Duration
 	Run      time.Duration
+	// Counters, when non-nil, are the engine introspection counters the
+	// task's run populated (Task.Counters); set only for executed and
+	// snapshot-fork outcomes. Like the span's clocks they are
+	// regime-dependent by design and live outside results, cache keys
+	// and byte-identity.
+	Counters *sim.Counters
 }
 
 // Probe observes the orchestration layer: one ObserveTask call per

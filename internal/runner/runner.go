@@ -56,6 +56,13 @@ type Task struct {
 	// called on the same goroutine that called Run, immediately after
 	// it.
 	Forked func() bool
+	// Counters, when non-nil, is consulted like Forked after Run
+	// returns, but only when the Run closure actually ran (executed or
+	// snapshot-fork outcomes): it hands the probe the engine
+	// introspection counters the run populated, carried on
+	// TaskSpan.Counters. Cache hits and errors report nil counters — no
+	// engine stepped on this process's CPU.
+	Counters func() *sim.Counters
 }
 
 // PanicError wraps a panic recovered from a task so one faulty run
@@ -351,6 +358,10 @@ func (p *Pool) exec(worker int, t Task) (*sim.Result, error) {
 		p.forked.Add(1)
 	}
 	if probe != nil {
+		var ctrs *sim.Counters
+		if (outcome == OutcomeExecuted || outcome == OutcomeSnapshotFork) && t.Counters != nil {
+			ctrs = t.Counters()
+		}
 		probe.ObserveTask(TaskSpan{
 			Key:      t.Key,
 			Label:    t.Label,
@@ -360,6 +371,7 @@ func (p *Pool) exec(worker int, t Task) (*sim.Result, error) {
 			Start:    start,
 			Duration: time.Since(start),
 			Run:      runDur,
+			Counters: ctrs,
 		})
 	}
 	return res, err

@@ -41,12 +41,23 @@ const fullClusterGPUs = 416
 // Built is a scenario resolved to concrete simulation inputs. Trace and
 // Profile are immutable and safely shared; Config constructs fresh
 // policy instances per call (placers carry RNG state), so one Built can
-// drive many concurrent runs.
+// drive many concurrent runs — unless Counters is set: the engine
+// increments it without atomics, so a counter-bearing Built must drive
+// one run at a time (give concurrent runs their own Built or their own
+// Counters via Config).
 type Built struct {
 	Spec    *Spec
 	Topo    cluster.Topology
 	Trace   *trace.Trace
 	Profile *vprof.Profile
+
+	// Counters, when non-nil, is handed to every Config this Built
+	// produces (sim.Config.Counters): the engine's introspection
+	// counters accumulate across the runs it drives — for a forked run,
+	// capture and resume land on the same instance, so the counters
+	// tell the whole warmup-then-switch story. Observation-only and
+	// outside Key(): results and cache keys are untouched.
+	Counters *sim.Counters
 }
 
 // Build resolves the spec's cluster, workload and profile. Generation
@@ -266,6 +277,7 @@ func (b *Built) Config() (sim.Config, error) {
 		MigrationPenaltySec: migration,
 		Metrics:             sink,
 		Decisions:           decSink,
+		Counters:            b.Counters,
 	}, nil
 }
 

@@ -1,0 +1,64 @@
+package sim_test
+
+// BenchmarkCountersOverhead pins the cost of attaching Config.Counters
+// at the noise floor: the counters are nil-guarded integer increments,
+// so both the fast-forwarded and the naive round loop must run at the
+// same speed with and without them. Run with
+//
+//	go test -bench=BenchmarkCountersOverhead -benchtime=1x ./internal/sim
+//
+// CI archives the reported corners as BENCH_counters.json.
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func BenchmarkCountersOverhead(b *testing.B) {
+	run := func(cfg sim.Config) time.Duration {
+		t0 := time.Now()
+		if _, err := sim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	// Interleaved best-of-5 per corner pair: the runs are short, so
+	// minima are the stable statistic (scheduling noise only ever adds
+	// time), and alternating on/off keeps heap growth and GC drift from
+	// biasing whichever corner runs first. One untimed warmup pair grows
+	// the heap before anything is measured.
+	bestPair := func(mkOn, mkOff func() sim.Config) (on, off time.Duration) {
+		run(mkOn())
+		run(mkOff())
+		on, off = time.Duration(1<<63-1), time.Duration(1<<63-1)
+		for i := 0; i < 5; i++ {
+			if d := run(mkOn()); d < on {
+				on = d
+			}
+			if d := run(mkOff()); d < off {
+				off = d
+			}
+		}
+		return on, off
+	}
+	withCounters := func(disableFF bool) func() sim.Config {
+		return func() sim.Config {
+			cfg := sparseConfig(disableFF)
+			cfg.Counters = &sim.Counters{}
+			return cfg
+		}
+	}
+	without := func(disableFF bool) func() sim.Config {
+		return func() sim.Config { return sparseConfig(disableFF) }
+	}
+	for i := 0; i < b.N; i++ {
+		onFast, offFast := bestPair(withCounters(false), without(false))
+		onNaive, offNaive := bestPair(withCounters(true), without(true))
+		b.ReportMetric(onFast.Seconds()*1000, "counters-on-ms")
+		b.ReportMetric(offFast.Seconds()*1000, "counters-off-ms")
+		b.ReportMetric(100*(onFast.Seconds()-offFast.Seconds())/offFast.Seconds(), "overhead-pct")
+		b.ReportMetric(100*(onNaive.Seconds()-offNaive.Seconds())/offNaive.Seconds(), "naive-overhead-pct")
+	}
+}

@@ -26,7 +26,7 @@ func recorderFor(t *testing.T, name string) *decision.Recorder {
 }
 
 func TestDecisionTraceByteIdentical(t *testing.T) {
-	sim.ResetBulkStats()
+	suiteCtr := &sim.Counters{}
 	cases := append(ffCases(t), denseCases(t)...)
 	for _, c := range cases {
 		c := c
@@ -45,10 +45,12 @@ func TestDecisionTraceByteIdentical(t *testing.T) {
 			}
 			fastCfg := c.config(t, false)
 			fastCfg.Decisions = recorderFor(t, c.name)
+			fastCfg.Counters = &sim.Counters{}
 			fast, err := sim.Run(fastCfg)
 			if err != nil {
 				t.Fatal(err)
 			}
+			suiteCtr.Add(fastCfg.Counters)
 
 			nt, ft := decision.FromResult(naive), decision.FromResult(fast)
 			if nt == nil || ft == nil {
@@ -99,7 +101,7 @@ func TestDecisionTraceByteIdentical(t *testing.T) {
 	// Engagement guard: the suite must actually have exercised the dense
 	// bulk path with recorders attached — otherwise the byte-identity
 	// above is vacuous.
-	if _, dense := sim.BulkStats(); dense == 0 {
+	if suiteCtr.DenseSpans == 0 {
 		t.Error("dense bulk-advance path never engaged across the decision suite")
 	}
 }

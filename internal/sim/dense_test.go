@@ -84,7 +84,7 @@ func denseCases(t *testing.T) []ffCase {
 }
 
 func TestDenseIncrementalByteIdentical(t *testing.T) {
-	sim.ResetBulkStats()
+	suiteCtr := &sim.Counters{}
 	for _, c := range denseCases(t) {
 		c := c
 		for _, withMetrics := range []bool{false, true} {
@@ -92,6 +92,7 @@ func TestDenseIncrementalByteIdentical(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/metrics=%v", c.name, withMetrics), func(t *testing.T) {
 				naiveCfg := c.config(t, true)
 				fastCfg := c.config(t, false)
+				fastCfg.Counters = &sim.Counters{}
 				if withMetrics {
 					naiveCfg.Metrics = collectorFor(t, c, 1)
 					fastCfg.Metrics = collectorFor(t, c, 1)
@@ -104,6 +105,7 @@ func TestDenseIncrementalByteIdentical(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				suiteCtr.Add(fastCfg.Counters)
 				if len(naive.PlaceTimes) != len(fast.PlaceTimes) {
 					t.Errorf("PlaceTimes count: naive %d, incremental %d",
 						len(naive.PlaceTimes), len(fast.PlaceTimes))
@@ -138,7 +140,7 @@ func TestDenseIncrementalByteIdentical(t *testing.T) {
 	// Engagement guard: the suite must actually have exercised the dense
 	// bulk path (spans entered with a non-empty waiting set) — otherwise
 	// the byte-identity above is vacuous.
-	if _, dense := sim.BulkStats(); dense == 0 {
+	if suiteCtr.DenseSpans == 0 {
 		t.Error("dense bulk-advance path never engaged across the dense suite")
 	}
 }
@@ -154,6 +156,7 @@ func TestDenseIncrementalActuallyEngages(t *testing.T) {
 		{ID: 2, Arrival: 0, Demand: 4, Work: 3e5},
 		{ID: 3, Arrival: 0, Demand: 4, Work: 3e5},
 	}}
+	ctr := &sim.Counters{}
 	cfg := sim.Config{
 		Topology:    clusterTopology(2), // 8 GPUs: two jobs run, two wait
 		Trace:       tr,
@@ -161,20 +164,23 @@ func TestDenseIncrementalActuallyEngages(t *testing.T) {
 		Placer:      place.NewPacked(true, 1),
 		TrueProfile: vprof.GenerateLonghorn(8, 1),
 		Lacross:     1.5,
+		Counters:    ctr,
 	}
-	sim.ResetBulkStats()
 	res, err := sim.Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	skipped, dense := sim.BulkStats()
-	if dense == 0 {
+	if ctr.DenseSpans == 0 {
 		t.Error("no dense spans on a saturated FIFO trace")
 	}
 	// ~1000+ progress rounds per phase; virtually all must be skipped.
-	if res.Rounds < 1000 || skipped < int64(res.Rounds)*9/10 {
-		t.Errorf("rounds=%d skipped=%d; dense bulk advance not skipping the busy stretches",
-			res.Rounds, skipped)
+	if res.Rounds < 1000 || ctr.BulkRounds() < int64(res.Rounds)*9/10 {
+		t.Errorf("rounds=%d bulk=%d; dense bulk advance not skipping the busy stretches",
+			res.Rounds, ctr.BulkRounds())
+	}
+	if got := ctr.TotalRounds(); got != int64(res.Rounds) {
+		t.Errorf("counter TotalRounds=%d, Result.Rounds=%d; regime counts must partition the rounds",
+			got, res.Rounds)
 	}
 	// Placement must have been consulted only when occupancy changed
 	// (two initial placements + two promotions after completions).

@@ -238,6 +238,18 @@ type Config struct {
 	// traces.
 	Decisions DecisionSink
 
+	// Counters, when non-nil, receives the engine's introspection
+	// counters: rounds per stepping regime, fast-path engagement,
+	// allocator traffic, snapshot capture/resume (see Counters). They
+	// are an observation-only out-param with zero cost when nil —
+	// attaching one leaves Result byte-identical
+	// (TestCountersDoNotPerturbSimulation) — but the values themselves
+	// are regime-dependent by design, so they live outside results,
+	// cache keys and byte-identity comparisons (the PlaceTimes/journal
+	// treatment). Attach a distinct instance per run: the engine
+	// increments it without atomics.
+	Counters *Counters
+
 	// DisableFastForward forces the engine to iterate every round even
 	// when nothing can change (no arrival, no finish, no reallocation).
 	// Fast-forwarding is byte-identical to naive iteration — the
@@ -461,7 +473,7 @@ func newEngine(cfg Config) (*engine, error) {
 	for i, spec := range cfg.Trace.Jobs {
 		jobs[i] = &Job{Spec: spec, Remaining: spec.Work}
 	}
-	return &engine{cfg: cfg, cluster: c, jobs: jobs}, nil
+	return &engine{cfg: cfg, cluster: c, jobs: jobs, ctr: cfg.Counters}, nil
 }
 
 // engine holds the per-run mutable state.
@@ -469,6 +481,11 @@ type engine struct {
 	cfg     Config
 	cluster *cluster.Cluster
 	jobs    []*Job
+
+	// ctr is the optional introspection out-param (Config.Counters);
+	// every increment is guarded on nil so the counters cost nothing
+	// when unattached.
+	ctr *Counters
 
 	nextArrival int    // index of the next not-yet-arrived trace job
 	active      []*Job // arrived, admitted, not finished
@@ -603,6 +620,12 @@ func (e *engine) run() (*Result, error) {
 			e.observeDecisionSpan(now, 1, nil, 0)
 			now += cfg.RoundSec
 			rounds++
+			// The replay round counts as idle-gap so TotalRounds() stays
+			// exactly Result.Rounds - ResumedRounds.
+			if e.ctr != nil {
+				e.ctr.IdleGapRounds++
+				e.ctr.IdleGapSpans++
+			}
 		}
 	}
 
@@ -613,6 +636,9 @@ func (e *engine) run() (*Result, error) {
 		if e.haltsAt(rounds) {
 			e.halted = true
 			e.haltedNow, e.haltedRounds = now, rounds
+			if e.ctr != nil {
+				e.ctr.SnapshotsCaptured++
+			}
 			return nil, nil
 		}
 
@@ -656,6 +682,12 @@ func (e *engine) run() (*Result, error) {
 				}
 				// The whole gap is one empty span: nothing runs, nothing
 				// waits (the arriving job is admitted next iteration).
+				if e.ctr != nil {
+					if n := rounds - idleFrom; n > 0 {
+						e.ctr.IdleGapRounds += int64(n)
+						e.ctr.IdleGapSpans++
+					}
+				}
 				e.observe(idleStart, rounds-idleFrom, nil, 0)
 				e.observeDecisionSpan(idleStart, rounds-idleFrom, nil, 0)
 				continue
@@ -678,9 +710,14 @@ func (e *engine) run() (*Result, error) {
 		// Placement phase, skipped when provably a no-op (sticky placer,
 		// occupancy already matching the prefix).
 		if !e.placementClean(prefix) {
+			if e.ctr != nil {
+				e.ctr.PlacementsRun++
+			}
 			if err := e.place(prefix, now); err != nil {
 				return nil, err
 			}
+		} else if e.ctr != nil {
+			e.ctr.PlacementsSkipped++
 		}
 
 		// Observe before advance: completions inside the round release
@@ -705,6 +742,9 @@ func (e *engine) run() (*Result, error) {
 
 		now += cfg.RoundSec
 		rounds++
+		if e.ctr != nil {
+			e.ctr.MaterializedRounds++
+		}
 
 		// Event-horizon phase: bulk advance through rounds that provably
 		// repeat the decision above. A finishing round must re-enter the
@@ -769,12 +809,21 @@ func (e *engine) orderActive(now float64) ([]*Job, error) {
 				e.ordered = append(e.ordered[:0], e.active...)
 				e.membershipChanged = false
 				slices.SortFunc(e.ordered, cmp)
+				if e.ctr != nil {
+					e.ctr.OrderRebuilds++
+				}
 				return e.ordered, nil
 			}
 			ord := e.ordered
+			if e.ctr != nil {
+				e.ctr.OrderRevalidated++
+			}
 			for i := 1; i < len(ord); i++ {
 				if ts.Less(ord[i], ord[i-1], now) {
 					slices.SortFunc(ord, cmp)
+					if e.ctr != nil {
+						e.ctr.OrderResorts++
+					}
 					break
 				}
 			}
@@ -782,6 +831,9 @@ func (e *engine) orderActive(now float64) ([]*Job, error) {
 		}
 	}
 	ordered := cfg.Sched.Order(e.active, now)
+	if e.ctr != nil {
+		e.ctr.OrderFullCalls++
+	}
 	if len(ordered) != len(e.active) {
 		return nil, fmt.Errorf("sim: scheduler %s returned %d jobs, want %d",
 			cfg.Sched.Name(), len(ordered), len(e.active))
@@ -945,8 +997,14 @@ func (e *engine) bulkAdvance(now float64, rounds int) (float64, int) {
 		now += round
 		rounds++
 	}
-	if skipped := rounds - spanFrom; skipped > 0 {
-		noteBulkSpan(skipped, len(waiting) > 0)
+	if skipped := rounds - spanFrom; skipped > 0 && e.ctr != nil {
+		if len(waiting) > 0 {
+			e.ctr.DenseRounds += int64(skipped)
+			e.ctr.DenseSpans++
+		} else {
+			e.ctr.SparseRounds += int64(skipped)
+			e.ctr.SparseSpans++
+		}
 	}
 	e.observe(spanStart, rounds-spanFrom, running, len(waiting))
 	e.observeDecisionSpan(spanStart, rounds-spanFrom, running, len(waiting))
@@ -1008,6 +1066,10 @@ func (e *engine) place(prefix []*Job, now float64) error {
 			j.PrevAlloc = j.Alloc
 			j.Alloc = nil
 			j.Preemptions++
+			if e.ctr != nil {
+				e.ctr.Preemptions++
+				e.ctr.ReleaseCalls++
+			}
 			e.recordEvent(now, j.Spec.ID, EventPreempt, j.Spec.Demand)
 			if e.cfg.Decisions != nil {
 				e.decPreempt = append(e.decPreempt,
@@ -1028,6 +1090,9 @@ func (e *engine) place(prefix []*Job, now float64) error {
 			j.PrevAlloc = j.Alloc
 			e.cluster.Release(j.Alloc)
 			j.Alloc = nil
+			if e.ctr != nil {
+				e.ctr.ReleaseCalls++
+			}
 		}
 		need = append(need, j)
 	}
@@ -1039,6 +1104,10 @@ func (e *engine) place(prefix []*Job, now float64) error {
 	t0 := time.Now()
 	allocs := e.cfg.Placer.PlaceRound(e.cluster, need, now)
 	e.placeTimes = append(e.placeTimes, time.Since(t0).Seconds())
+	if e.ctr != nil {
+		e.ctr.PlaceCalls++
+		e.ctr.JobsPlaced += int64(len(need))
+	}
 
 	for _, j := range need {
 		alloc, ok := allocs[j.Spec.ID]
@@ -1065,11 +1134,17 @@ func (e *engine) place(prefix []*Job, now float64) error {
 			}
 		}
 		e.cluster.Allocate(j.Spec.ID, alloc)
+		if e.ctr != nil {
+			e.ctr.AllocCalls++
+		}
 		wasRunning := j.wasRunning
 		j.wasRunning = false
 		migrated := wasRunning && !sameGPUs(j.PrevAlloc, alloc)
 		if migrated {
 			j.Migrations++
+			if e.ctr != nil {
+				e.ctr.Migrations++
+			}
 			j.migrated = true
 			e.recordEvent(now, j.Spec.ID, EventMigrate, j.Spec.Demand)
 		}
@@ -1197,6 +1272,9 @@ func (e *engine) advance(prefix []*Job, now float64) int {
 			e.cluster.Release(j.Alloc)
 			j.Alloc = nil
 			finished++
+			if e.ctr != nil {
+				e.ctr.ReleaseCalls++
+			}
 			e.recordEvent(j.Finish, j.Spec.ID, EventFinish, j.Spec.Demand)
 		} else {
 			j.Remaining -= round / sd

@@ -345,6 +345,10 @@ func (e *engine) restore(s *Snapshot) error {
 	e.resumed = true
 	e.resumeNow = s.Now
 	e.resumeRounds = s.Rounds
+	if e.ctr != nil {
+		e.ctr.SnapshotsResumed++
+		e.ctr.ResumedRounds += int64(s.Rounds)
+	}
 	return nil
 }
 

@@ -1,7 +1,5 @@
 package sim
 
-import "sync/atomic"
-
 // Scheduler capability interfaces for the incremental engine core.
 //
 // The engine's round loop runs in four stepping regimes (documented in
@@ -60,23 +58,4 @@ type TotalOrderScheduler interface {
 type PartitionStableScheduler interface {
 	Scheduler
 	AttainedCeilings(running, waiting []*Job, ceilings []float64)
-}
-
-// Bulk-advance accounting. The counters are test instrumentation: the
-// engagement guards in the engine's test suite assert that the sparse
-// and dense bulk paths actually ran (otherwise the byte-identity suites
-// could pass vacuously against an optimization that never fires). They
-// are process-global and atomic so concurrently-running engines (the
-// runner pool) can share them safely.
-var (
-	bulkRoundsSkipped atomic.Int64 // rounds advanced inside bulk spans
-	denseSpans        atomic.Int64 // bulk spans entered with a non-empty waiting set
-)
-
-// noteBulkSpan records one completed bulk span of n skipped rounds.
-func noteBulkSpan(n int, dense bool) {
-	bulkRoundsSkipped.Add(int64(n))
-	if dense {
-		denseSpans.Add(1)
-	}
 }
